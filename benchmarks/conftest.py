@@ -1,0 +1,19 @@
+"""Shared benchmark utilities.
+
+Each benchmark regenerates one of the paper artifacts catalogued in
+DESIGN.md (Table 1 or an F-series claim).  The measured rows are
+attached to ``benchmark.extra_info`` so ``--benchmark-json`` captures
+them, and printed so a ``pytest benchmarks/ --benchmark-only -s`` run
+shows the regenerated tables inline.  ``benchmarks/report.py``
+re-runs the same sweeps standalone to refresh EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+
+def attach_rows(benchmark, rows, label: str) -> None:
+    from repro.analysis.tables import plain_table
+
+    benchmark.extra_info[label] = rows
+    print(f"\n== {label} ==")
+    print(plain_table(rows))

@@ -1,0 +1,196 @@
+"""Regenerate every measured table of EXPERIMENTS.md.
+
+Usage::
+
+    python benchmarks/report.py            # full report (several minutes)
+    python benchmarks/report.py --quick    # smaller sweeps
+
+The printed output is markdown; paste it into EXPERIMENTS.md after a
+substantive change to the algorithms or the cost model.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from random import Random
+
+
+def section(title: str, rows: list[dict], notes: str = "") -> None:
+    from repro.analysis.tables import markdown_table
+
+    print(f"\n### {title}\n")
+    print(markdown_table(rows))
+    if notes:
+        print(f"\n{notes}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller sweeps for a fast sanity pass")
+    args = parser.parse_args()
+
+    from repro.analysis.complexity import fit_loglog_slope
+    from repro.analysis.experiments import (
+        byzantine_run_summary,
+        crash_run_summary,
+        gossip_run_summary,
+        obg_run_summary,
+        table1_rows,
+    )
+    from repro.lowerbound.anonymous import (
+        SilentRenamingExperiment,
+        minimum_messages_for_success,
+    )
+
+    quick = args.quick
+
+    # T1 ---------------------------------------------------------------
+    n_t1, f_t1 = (32, 4) if quick else (64, 8)
+    rows = table1_rows(n_t1, f_t1, seed=1)
+    keep = ("algorithm", "rounds", "messages", "bits", "max_message_bits",
+            "unique", "strong")
+    section(
+        f"T1 -- Table 1 measured (n={n_t1}, f={f_t1})",
+        [{k: row.get(k) for k in keep} for row in rows],
+    )
+
+    # F1 ---------------------------------------------------------------
+    ns = [32, 64, 128] if quick else [32, 64, 128, 256]
+    f1 = []
+    for n in ns:
+        ours = crash_run_summary(n, 0, seed=1, adversary=None)
+        obg = obg_run_summary(n, 0, seed=1)
+        f1.append({"n": n, "ours_messages": ours["messages"],
+                   "obg_messages": obg["messages"],
+                   "ratio_obg_over_ours": obg["messages"] / ours["messages"]})
+    slope_ours = fit_loglog_slope(ns, [r["ours_messages"] for r in f1])
+    slope_obg = fit_loglog_slope(ns, [r["obg_messages"] for r in f1])
+    section("F1 -- crash messages vs n (f=0)", f1,
+            f"log-log slopes: ours {slope_ours:.2f}, all-to-all {slope_obg:.2f}.")
+
+    # F2 ---------------------------------------------------------------
+    n_f2 = 64 if quick else 128
+    f2 = []
+    for f in (0, n_f2 // 8, n_f2 // 4, n_f2 // 2, int(0.8 * n_f2)):
+        row = crash_run_summary(n_f2, f, seed=1)
+        f2.append({"f_budget": f, "f_actual": row["f_actual"],
+                   "messages": row["messages"], "rounds": row["rounds"]})
+    section(f"F2 -- crash messages vs f (n={n_f2}, committee hunter)", f2)
+
+    # F3 ---------------------------------------------------------------
+    f3 = []
+    for n in ns:
+        quiet = crash_run_summary(n, 0, seed=1, adversary=None)
+        hunted = crash_run_summary(n, n // 2, seed=1)
+        f3.append({"n": n, "bound_9ceil_log2": 9 * math.ceil(math.log2(n)),
+                   "rounds_f0": quiet["rounds"],
+                   "rounds_hunted": hunted["rounds"]})
+    section("F3 -- crash rounds vs n", f3)
+
+    # F4 ---------------------------------------------------------------
+    byz_ns = [16, 32, 64] if quick else [32, 64, 128, 256]
+    f4 = []
+    for n in byz_ns:
+        row = byzantine_run_summary(n, 0, seed=1, f_assumed=max(2, n // 32),
+                                    consensus_iterations=8)
+        f4.append({"n": n, "messages": row["messages"], "bits": row["bits"],
+                   "rounds": row["rounds"]})
+    slope_byz = fit_loglog_slope(byz_ns, [r["messages"] for r in f4])
+    section(
+        "F4 -- Byzantine messages vs n (f=0)", f4,
+        f"log-log slope: {slope_byz:.2f} -- far below the quadratic wall; "
+        "at these n the committee's polylog consensus traffic dominates "
+        "the n log n announcement term, so counts are nearly flat in n.",
+    )
+
+    # F5 ---------------------------------------------------------------
+    f5 = []
+    for f in (0, 1, 2, 3, 4):
+        row = byzantine_run_summary(16, f, seed=3, strategy="withholder",
+                                    f_assumed=4, consensus_iterations=8)
+        f5.append({"f": f, "rounds": row["rounds"],
+                   "messages": row["messages"],
+                   "splits": row["segments_split"]})
+    section("F5 -- Byzantine rounds vs actual f (n=16, withholders)", f5)
+
+    # F6 ---------------------------------------------------------------
+    n_lb = 64
+    experiment = SilentRenamingExperiment(n=n_lb, rng=Random(11))
+    budgets = [0, n_lb // 2, n_lb - 4, n_lb - 2, n_lb - 1, n_lb]
+    f6 = experiment.sweep(budgets, trials=1000 if quick else 4000)
+    section(
+        f"F6 -- lower bound: success vs message budget (n={n_lb})", f6,
+        f"messages needed for success >= 3/4: "
+        f"{minimum_messages_for_success(n_lb, 0.75)} (= n - 1).",
+    )
+
+    # F7 ---------------------------------------------------------------
+    f7a = []
+    for namespace in (1 << 12, 1 << 18, 1 << 24):
+        row = crash_run_summary(32, 4, seed=1, namespace=namespace)
+        f7a.append({"log2_N": int(math.log2(namespace)),
+                    "max_message_bits": row["max_message_bits"]})
+    section("F7a -- max message bits vs log2 N (n=32)", f7a)
+
+    f7b = []
+    for n in (32, 64) if quick else (32, 64, 128):
+        ours = crash_run_summary(n, n // 16, seed=1)
+        gossip = gossip_run_summary(n, n // 16, seed=1)
+        f7b.append({"n": n, "ours_bits": ours["bits"],
+                    "gossip_bits": gossip["bits"],
+                    "ratio": gossip["bits"] / ours["bits"]})
+    section("F7b -- total bits, ours vs gossip family", f7b)
+
+    # F8 ---------------------------------------------------------------
+    from repro.adversary.crash import CommitteeHunter
+    from repro.analysis.experiments import (
+        EXPERIMENT_ELECTION_CONSTANT,
+        default_namespace,
+        sample_uids,
+    )
+    from repro.core.crash_renaming import (
+        CrashRenamingConfig,
+        run_crash_renaming,
+    )
+
+    def f8_run(budget, n=128, seed=5):
+        namespace = default_namespace(n)
+        uids = sample_uids(n, namespace, Random(seed))
+        result = run_crash_renaming(
+            uids, namespace=namespace,
+            adversary=(CommitteeHunter(budget, Random(seed + 1))
+                       if budget else None),
+            config=CrashRenamingConfig(
+                election_constant=EXPERIMENT_ELECTION_CONSTANT),
+            seed=seed + 2,
+        )
+        survivors = [p for i, p in enumerate(result.processes)
+                     if i not in result.crashed]
+        p_values = [p.final_p for p in survivors]
+        return {
+            "budget": budget,
+            "crashed": len(result.crashed),
+            "max_p": max(p_values),
+            "p_spread": max(p_values) - min(p_values),
+            "ever_elected": sum(p.ever_elected for p in result.processes),
+            "messages": result.metrics.correct_messages,
+        }
+
+    f8 = [f8_run(budget) for budget in (0, 16, 48, 96, 120)]
+    section("F8 -- committee re-election ablation (n=128)", f8)
+
+    # F9 ---------------------------------------------------------------
+    f9 = []
+    for f in (0, 1, 2, 3):
+        row = byzantine_run_summary(16, f, seed=7, strategy="withholder",
+                                    f_assumed=4, consensus_iterations=8)
+        f9.append({"f": f, "splits": row["segments_split"],
+                   "f_log2N_budget": round(f * math.log2(5 * 16 * 16), 1)})
+    section("F9 -- segment splits vs f (n=16, N=1280)", f9)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

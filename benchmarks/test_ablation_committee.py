@@ -1,0 +1,90 @@
+"""F8 -- ablation: committee re-election under sustained attack.
+
+Design claim (Lemmas 2.4-2.7): every time the adversary wipes out the
+whole committee, survivors double their election probability (p += 1),
+so the adversary must crash geometrically more nodes to keep stalling
+-- that is what makes the message bound scale with f.  Shapes: p stays
+0 without failures; grows under the committee hunter; the p-spread
+stays <= 1 (Lemma 2.5); and the number of ever-elected nodes tracks
+``min(2^p log n, n)`` (Lemma 2.6) within constants.
+"""
+
+import math
+from random import Random
+
+import pytest
+
+from benchmarks.conftest import attach_rows
+from repro.adversary.crash import CommitteeHunter
+from repro.analysis.experiments import (
+    EXPERIMENT_ELECTION_CONSTANT,
+    default_namespace,
+    sample_uids,
+)
+from repro.core.crash_renaming import CrashRenamingConfig, run_crash_renaming
+
+N = 128
+
+
+def run_with_budget(budget, seed=5):
+    namespace = default_namespace(N)
+    uids = sample_uids(N, namespace, Random(seed))
+    result = run_crash_renaming(
+        uids,
+        namespace=namespace,
+        adversary=CommitteeHunter(budget, Random(seed + 1)) if budget else None,
+        config=CrashRenamingConfig(
+            election_constant=EXPERIMENT_ELECTION_CONSTANT
+        ),
+        seed=seed + 2,
+    )
+    survivors = [
+        p for i, p in enumerate(result.processes) if i not in result.crashed
+    ]
+    p_values = [p.final_p for p in survivors]
+    return {
+        "budget": budget,
+        "crashed": len(result.crashed),
+        "max_p": max(p_values),
+        "p_spread": max(p_values) - min(p_values),
+        "ever_elected": sum(p.ever_elected for p in result.processes),
+        "messages": result.metrics.correct_messages,
+        "unique": len({p.interval.lo for p in survivors}) == len(survivors),
+    }
+
+
+def sweep():
+    return [run_with_budget(budget) for budget in (0, 16, 48, 96, 120)]
+
+
+@pytest.mark.benchmark(group="ablation-committee")
+def test_reelection_escalates_with_pressure(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    attach_rows(benchmark, rows, f"F8 committee re-election (n={N})")
+
+    assert all(row["unique"] for row in rows)
+    # No failures -> p never moves.
+    assert rows[0]["max_p"] == 0
+    # Heavy pressure -> re-elections happened.
+    assert rows[-1]["max_p"] >= 1
+    # Lemma 2.5: the p spread among survivors is at most 1, always.
+    assert all(row["p_spread"] <= 1 for row in rows)
+    # Lemma 2.6 shape: ever-elected count within constants of
+    # min(2^p log n, n).
+    for row in rows:
+        envelope = min(
+            (2 ** row["max_p"])
+            * EXPERIMENT_ELECTION_CONSTANT * math.log2(N) * 4,
+            N,
+        )
+        assert row["ever_elected"] <= envelope + 8
+    # Lemma 2.7's converse shape: escalation is *caused* by crashes --
+    # p and the election count rise monotonically with the adversary's
+    # spend.  (Raw message totals are non-monotone because crashed
+    # nodes stop sending; the election count is the resource the
+    # adversary is forced to burn against.)
+    max_ps = [row["max_p"] for row in rows]
+    elected = [row["ever_elected"] for row in rows]
+    assert max_ps == sorted(max_ps)
+    assert elected == sorted(elected)
+    assert elected[-1] > 4 * elected[0]

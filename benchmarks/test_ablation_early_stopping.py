@@ -1,0 +1,87 @@
+"""F12 -- ablation: the early-stopping extension.
+
+An optional feature beyond the paper (see CrashRenamingConfig): the
+committee broadcasts DONE once every reporter holds a singleton, so
+nodes skip the remaining idle phases.  Shapes: ~2-3x fewer rounds and
+messages in failure-free runs, identical names, and unchanged
+correctness under the committee hunter.
+"""
+
+import pytest
+
+from benchmarks.conftest import attach_rows
+from repro.adversary.crash import CommitteeHunter
+from repro.analysis.experiments import (
+    EXPERIMENT_ELECTION_CONSTANT,
+    default_namespace,
+    sample_uids,
+)
+from repro.core.crash_renaming import CrashRenamingConfig, run_crash_renaming
+from random import Random
+
+N_VALUES = [32, 64, 128]
+
+
+def run_once(n, early_stopping, hunted=False, seed=4):
+    namespace = default_namespace(n)
+    uids = sample_uids(n, namespace, Random(seed))
+    config = CrashRenamingConfig(
+        election_constant=EXPERIMENT_ELECTION_CONSTANT,
+        early_stopping=early_stopping,
+    )
+    adversary = CommitteeHunter(n // 3, Random(seed + 1)) if hunted else None
+    result = run_crash_renaming(
+        uids, namespace=namespace, adversary=adversary,
+        config=config, seed=seed + 2,
+    )
+    outputs = result.outputs_by_uid()
+    return {
+        "rounds": result.rounds,
+        "messages": result.metrics.correct_messages,
+        "names": outputs,
+        "ok": len(set(outputs.values())) == len(outputs)
+        and all(1 <= v <= n for v in outputs.values()),
+    }
+
+
+def sweep():
+    rows = []
+    for n in N_VALUES:
+        base = run_once(n, early_stopping=False)
+        fast = run_once(n, early_stopping=True)
+        rows.append({
+            "n": n,
+            "rounds_base": base["rounds"],
+            "rounds_early": fast["rounds"],
+            "messages_base": base["messages"],
+            "messages_early": fast["messages"],
+            "same_names": base["names"] == fast["names"],
+            "ok": base["ok"] and fast["ok"],
+        })
+    return rows
+
+
+@pytest.mark.benchmark(group="ablation-early-stopping")
+def test_early_stopping_saves_idle_phases(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    attach_rows(benchmark, rows, "F12 early-stopping ablation (f=0)")
+    for row in rows:
+        assert row["ok"] and row["same_names"]
+        assert row["rounds_early"] < row["rounds_base"]
+        assert row["messages_early"] < row["messages_base"]
+    # The saving compounds: roughly the 3x phase multiplier's worth.
+    assert rows[-1]["rounds_base"] >= 2 * rows[-1]["rounds_early"]
+
+
+@pytest.mark.benchmark(group="ablation-early-stopping")
+def test_early_stopping_is_safe_under_the_hunter(benchmark):
+    rows = benchmark.pedantic(
+        lambda: [
+            {"n": n, **{k: v for k, v in run_once(n, True, hunted=True).items()
+                        if k != "names"}}
+            for n in N_VALUES
+        ],
+        rounds=1, iterations=1,
+    )
+    attach_rows(benchmark, rows, "F12b early stopping under committee hunter")
+    assert all(row["ok"] for row in rows)

@@ -1,0 +1,76 @@
+"""F10 -- ablation: what fingerprinting buys (Section 3.1's core trick).
+
+Design claim: committee members "cannot directly exchange these bit
+vectors, as that would again cost too much communication", so they
+exchange ``O(log N)``-bit fingerprints instead.  The ablation runs the
+*identical* divide-and-conquer with raw segment contents in place of
+digests.  Shape: identical control flow (same splits, same rounds,
+same names), but the biggest message grows from ``O(log N)`` bits to
+``Theta(n log N)`` bits -- the per-message blow-up the paper's Table 1
+charges the big-message families for.
+"""
+
+import pytest
+
+from benchmarks.conftest import attach_rows
+from repro.adversary import byzantine as byz
+from repro.analysis.experiments import default_namespace, sample_uids
+from repro.core.byzantine_renaming import (
+    ByzantineRenamingConfig,
+    run_byzantine_renaming,
+)
+from random import Random
+
+N = 64
+
+
+def run_variant(use_fingerprints: bool) -> dict:
+    namespace = default_namespace(N)
+    uids = sample_uids(N, namespace, Random(21))
+    corrupt = byz.corrupt_set(uids, 1, Random(22))
+    config = ByzantineRenamingConfig(
+        max_byzantine=2,
+        candidate_probability=min(1.0, 24 / N),
+        consensus_iterations=8,
+        use_fingerprints=use_fingerprints,
+    )
+    result = run_byzantine_renaming(
+        uids,
+        namespace=namespace,
+        byzantine={uid: byz.make_withholder(0.5) for uid in corrupt},
+        config=config,
+        shared_seed=23,
+        seed=24,
+    )
+    outputs = result.outputs_by_uid()
+    splits = max(
+        (p.segments_split for p in result.processes
+         if getattr(p, "was_committee", False) and not p.byzantine),
+        default=0,
+    )
+    return {
+        "fingerprints": use_fingerprints,
+        "rounds": result.rounds,
+        "splits": splits,
+        "bits": result.metrics.correct_bits,
+        "max_message_bits": result.metrics.max_message_bits,
+        "unique": len(set(outputs.values())) == len(outputs),
+    }
+
+
+@pytest.mark.benchmark(group="ablation-fingerprints")
+def test_fingerprints_bound_message_size(benchmark):
+    rows = benchmark.pedantic(
+        lambda: [run_variant(True), run_variant(False)],
+        rounds=1, iterations=1,
+    )
+    attach_rows(benchmark, rows, f"F10 fingerprint ablation (n={N}, f=1)")
+    with_fp, without_fp = rows
+    assert with_fp["unique"] and without_fp["unique"]
+    # Identical control flow: the recursion is driven by value
+    # (in)equality, which both representations decide identically.
+    assert with_fp["rounds"] == without_fp["rounds"]
+    assert with_fp["splits"] == without_fp["splits"]
+    # The trick's payoff: without fingerprints the worst message grows
+    # ~n/6 times larger (raw n-identity segment vs a 6 log N digest).
+    assert without_fp["max_message_bits"] > 3 * with_fp["max_message_bits"]

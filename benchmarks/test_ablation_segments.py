@@ -1,0 +1,78 @@
+"""F9 -- ablation: divide-and-conquer segment count (Lemma 3.10).
+
+Design claim: the fingerprinted recursion splits a segment only when a
+discrepancy forces it, and each withheld identity can force at most one
+root-to-singleton path of ``~log2 N`` splits, so the while loop runs
+``O(f log N)`` iterations.  Shapes: splits per withholder ~ ``log2 N``;
+splits grow with ``N`` at fixed ``f``; honest runs never split.
+"""
+
+import math
+
+import pytest
+
+from benchmarks.conftest import attach_rows
+from repro.analysis.experiments import byzantine_run_summary
+
+N = 16
+
+
+def sweep_f():
+    rows = []
+    for f in (0, 1, 2, 3):
+        row = byzantine_run_summary(
+            N, f, seed=7, strategy="withholder", f_assumed=4,
+            consensus_iterations=8,
+        )
+        namespace = 5 * N * N
+        rows.append({
+            "n": N,
+            "f": f,
+            "namespace": namespace,
+            "splits": row["segments_split"],
+            "per_withholder": (
+                round(row["segments_split"] / f, 2) if f else 0.0
+            ),
+            "budget_f_logN": round(f * math.log2(namespace), 1),
+            "ok": row["unique"] and row["strong"],
+        })
+    return rows
+
+
+def sweep_namespace():
+    rows = []
+    for namespace in (1 << 10, 1 << 14, 1 << 18):
+        row = byzantine_run_summary(
+            N, 1, seed=7, strategy="withholder", f_assumed=4,
+            namespace=namespace, consensus_iterations=8,
+        )
+        rows.append({
+            "n": N,
+            "namespace_log2": int(math.log2(namespace)),
+            "splits": row["segments_split"],
+            "ok": row["unique"] and row["strong"],
+        })
+    return rows
+
+
+@pytest.mark.benchmark(group="ablation-segments")
+def test_splits_scale_with_f(benchmark):
+    rows = benchmark.pedantic(sweep_f, rounds=1, iterations=1)
+    attach_rows(benchmark, rows, f"F9a splits vs f (n={N})")
+    assert all(row["ok"] for row in rows)
+    assert rows[0]["splits"] == 0
+    for row in rows[1:]:
+        # Lemma 3.10 budget: at most 4 f log N iterations; and at least
+        # a root-to-singleton path when a withholder split the views.
+        assert row["splits"] <= 4 * row["budget_f_logN"]
+    assert rows[1]["splits"] >= math.log2(5 * N * N) - 2
+
+
+@pytest.mark.benchmark(group="ablation-segments")
+def test_splits_scale_with_namespace(benchmark):
+    rows = benchmark.pedantic(sweep_namespace, rounds=1, iterations=1)
+    attach_rows(benchmark, rows, f"F9b splits vs log N (n={N}, f=1)")
+    assert all(row["ok"] for row in rows)
+    splits = [row["splits"] for row in rows]
+    assert splits == sorted(splits)
+    assert splits[-1] > splits[0]

@@ -1,0 +1,73 @@
+"""F11 -- the three prior-work baseline families, side by side.
+
+Table 1 groups prior work into families by their cost signature.  This
+benchmark measures all three implemented families at one scale and
+asserts the signatures that distinguish them:
+
+* all-to-all halving [34]/[15]-style: few rounds, quadratic messages,
+  small messages;
+* balls-into-slots [3]-style: few (randomized) rounds, quadratic
+  messages, small messages;
+* full-information gossip [20]/[33]-style: Theta(n) rounds, big
+  messages, cubic bits.
+
+None of them adapts its message count to the actual failure count --
+the gap the paper's algorithms close.
+"""
+
+import math
+
+import pytest
+
+from benchmarks.conftest import attach_rows
+from repro.analysis.experiments import (
+    balls_run_summary,
+    crash_run_summary,
+    gossip_run_summary,
+    obg_run_summary,
+)
+
+N = 96
+F = 8
+
+
+def sweep():
+    keep = ("algorithm", "rounds", "messages", "bits", "max_message_bits")
+    rows = [
+        {k: row[k] for k in keep} | {"ok": row["unique"] and row["strong"]}
+        for row in (
+            obg_run_summary(N, F, seed=2),
+            balls_run_summary(N, F, seed=2),
+            gossip_run_summary(N, F, seed=2),
+            crash_run_summary(N, F, seed=2),
+        )
+    ]
+    return rows
+
+
+@pytest.mark.benchmark(group="baseline-families")
+def test_family_cost_signatures(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    attach_rows(benchmark, rows, f"F11 baseline families (n={N}, f={F})")
+    obg, balls, gossip, ours = rows
+    assert all(row["ok"] for row in rows)
+
+    # Round signatures.
+    assert obg["rounds"] == math.ceil(math.log2(N))
+    assert balls["rounds"] <= 4 * math.ceil(math.log2(N))
+    assert gossip["rounds"] >= N - F - 1
+
+    # Message-size signatures: only the gossip family ships Theta(n)-bit
+    # messages.
+    assert gossip["max_message_bits"] > 10 * obg["max_message_bits"]
+    assert balls["max_message_bits"] < 64
+
+    # Message-count signatures: every baseline is all-to-all (>= ~n^2 /
+    # survivor-adjusted), while ours is committee-bound.
+    survivors = N - F
+    for row in (obg, balls, gossip):
+        assert row["messages"] >= survivors * survivors
+    assert ours["messages"] < obg["messages"]
+
+    # Bit wall: gossip dwarfs everyone.
+    assert gossip["bits"] > 20 * max(obg["bits"], balls["bits"], ours["bits"])

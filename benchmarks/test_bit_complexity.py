@@ -1,0 +1,74 @@
+"""F7 -- per-message and total bit complexity.
+
+Paper claims: every message of both algorithms is ``O(log N)`` bits;
+total bits are subquadratic for the crash algorithm whenever
+``f = o(n / (log n log N))`` and almost linear for the Byzantine
+algorithm -- against the gossip family's ``Theta(n^3 log N)`` wall.
+Shapes: max message size grows linearly in ``log N`` at fixed ``n``;
+total-bit ratios versus the baselines widen with ``n``.
+"""
+
+import math
+
+import pytest
+
+from benchmarks.conftest import attach_rows
+from repro.analysis.complexity import fit_loglog_slope
+from repro.analysis.experiments import (
+    crash_run_summary,
+    gossip_run_summary,
+)
+
+N_FIXED = 32
+NAMESPACE_VALUES = [1 << 12, 1 << 15, 1 << 18, 1 << 21, 1 << 24]
+
+
+def message_size_sweep():
+    rows = []
+    for namespace in NAMESPACE_VALUES:
+        row = crash_run_summary(N_FIXED, 4, seed=1, namespace=namespace)
+        rows.append({
+            "namespace_log2": int(math.log2(namespace)),
+            "max_message_bits": row["max_message_bits"],
+        })
+    return rows
+
+
+def total_bits_sweep():
+    rows = []
+    for n in (32, 64, 128):
+        ours = crash_run_summary(n, n // 16, seed=1)
+        gossip = gossip_run_summary(n, n // 16, seed=1)
+        rows.append({
+            "n": n,
+            "ours_bits": ours["bits"],
+            "gossip_bits": gossip["bits"],
+            "ratio": round(gossip["bits"] / ours["bits"], 1),
+        })
+    return rows
+
+
+@pytest.mark.benchmark(group="bit-complexity")
+def test_messages_are_logarithmic_in_namespace(benchmark):
+    rows = benchmark.pedantic(message_size_sweep, rounds=1, iterations=1)
+    attach_rows(benchmark, rows, f"F7a max message bits vs log2 N (n={N_FIXED})")
+    # Linear in log N: the size/log2(N) ratio is flat within a factor 2.
+    ratios = [row["max_message_bits"] / row["namespace_log2"] for row in rows]
+    assert max(ratios) <= 2 * min(ratios)
+    # And nowhere near Omega(n) bits (the big-message families).
+    assert all(row["max_message_bits"] < N_FIXED * 4 for row in rows)
+
+
+@pytest.mark.benchmark(group="bit-complexity")
+def test_total_bits_beat_the_cubic_wall(benchmark):
+    rows = benchmark.pedantic(total_bits_sweep, rounds=1, iterations=1)
+    attach_rows(benchmark, rows, "F7b total bits, ours vs gossip")
+    slope_ours = fit_loglog_slope(
+        [row["n"] for row in rows], [row["ours_bits"] for row in rows]
+    )
+    slope_gossip = fit_loglog_slope(
+        [row["n"] for row in rows], [row["gossip_bits"] for row in rows]
+    )
+    print(f"bits slope: ours={slope_ours:.2f}, gossip={slope_gossip:.2f}")
+    assert slope_gossip - slope_ours > 1.0
+    assert rows[-1]["ratio"] > rows[0]["ratio"]

@@ -1,0 +1,38 @@
+"""F3 -- the crash algorithm's deterministic round bound.
+
+Paper claim (Theorem 1.2): always terminates within ``O(log n)``
+rounds -- concretely ``3 ceil(log2 n)`` phases of 3 rounds, under any
+adversary.  Shape: measured rounds equal the closed form exactly, for
+every ``n`` and adversary tried.
+"""
+
+import pytest
+
+from benchmarks.conftest import attach_rows
+from repro.analysis.complexity import crash_round_bound
+from repro.analysis.experiments import crash_run_summary
+
+N_VALUES = [16, 32, 64, 128, 256]
+
+
+def sweep():
+    rows = []
+    for n in N_VALUES:
+        quiet = crash_run_summary(n, 0, seed=1, adversary=None)
+        hunted = crash_run_summary(n, n // 2, seed=1, adversary="hunter")
+        rows.append({
+            "n": n,
+            "bound": crash_round_bound(n),
+            "rounds_f0": quiet["rounds"],
+            "rounds_hunted": hunted["rounds"],
+        })
+    return rows
+
+
+@pytest.mark.benchmark(group="crash-rounds")
+def test_round_bound_is_deterministic(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    attach_rows(benchmark, rows, "F3 rounds vs n")
+    for row in rows:
+        assert row["rounds_f0"] == row["bound"]
+        assert row["rounds_hunted"] == row["bound"]

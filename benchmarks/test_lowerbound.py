@@ -1,0 +1,45 @@
+"""F6 -- the Omega(n) message lower bound (Theorem 1.4).
+
+Paper claim: any strong renaming algorithm succeeding with probability
+>= 3/4 sends Omega(n) messages in expectation, even with shared
+randomness, authentication, and no failures.  Shape: measured success
+of the best silent-node protocol crosses 3/4 only once all but one
+node has communicated, i.e. the message floor is ``n - 1``.
+"""
+
+import pytest
+from random import Random
+
+from benchmarks.conftest import attach_rows
+from repro.lowerbound.anonymous import (
+    SilentRenamingExperiment,
+    exact_success_probability,
+    minimum_messages_for_success,
+)
+
+N = 64
+TRIALS = 3000
+
+
+def sweep():
+    experiment = SilentRenamingExperiment(n=N, rng=Random(11))
+    budgets = [0, N // 4, N // 2, 3 * N // 4, N - 4, N - 2, N - 1, N]
+    return experiment.sweep(budgets, trials=TRIALS)
+
+
+@pytest.mark.benchmark(group="lower-bound")
+def test_message_floor(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    attach_rows(benchmark, rows, f"F6 success vs message budget (n={N})")
+
+    for row in rows:
+        assert row["measured_success"] == pytest.approx(
+            row["exact_success"], abs=0.05
+        )
+    by_budget = {row["messages"]: row["measured_success"] for row in rows}
+    # Below the floor, failure probability stays over 1/4 ...
+    assert by_budget[N - 2] <= 0.6
+    assert by_budget[N // 2] <= 0.01
+    # ... and only n-1 coordinated messages reach the 3/4 target.
+    assert by_budget[N - 1] == 1.0
+    assert minimum_messages_for_success(N, 0.75) == N - 1

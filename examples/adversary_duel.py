@@ -1,0 +1,67 @@
+"""Scenario: the resource-competitive duel (Eve vs. the committee).
+
+The crash algorithm's defining property (Theorem 1.2) is that its cost
+scales with the failures that *actually happen*: every time Eve wipes
+out the whole committee, survivors double their re-election
+probability, so stalling the protocol gets geometrically more
+expensive for her.
+
+This example sweeps Eve's crash budget and prints, for each escalation
+level, what she paid (crashes) against what she achieved (re-election
+escalations p, extra elected nodes, protocol messages) -- the measured
+form of Lemmas 2.4-2.7.
+
+Run:  python examples/adversary_duel.py
+"""
+
+from random import Random
+
+from repro import CrashRenamingConfig, run_crash_renaming
+from repro.adversary.crash import CommitteeHunter
+
+N = 128
+
+
+def duel(budget: int) -> dict:
+    result = run_crash_renaming(
+        range(1, N + 1),
+        adversary=CommitteeHunter(budget, Random(40 + budget)) if budget else None,
+        config=CrashRenamingConfig(election_constant=4),
+        seed=17,
+    )
+    survivors = [
+        p for i, p in enumerate(result.processes) if i not in result.crashed
+    ]
+    names = {p.interval.lo for p in survivors}
+    assert len(names) == len(survivors), "uniqueness broken!"
+    return {
+        "eve_budget": budget,
+        "eve_spent": len(result.crashed),
+        "max_p": max(p.final_p for p in survivors),
+        "ever_elected": sum(p.ever_elected for p in result.processes),
+        "messages": result.metrics.correct_messages,
+    }
+
+
+def main() -> None:
+    print(f"n = {N}; Eve hunts committee members with increasing budgets\n")
+    header = ("budget", "crashes", "escalations p", "nodes ever elected",
+              "protocol messages")
+    print(" | ".join(f"{h:>18}" for h in header))
+    for budget in (0, 8, 24, 56, 96, 124):
+        row = duel(budget)
+        print(" | ".join(f"{row[k]:>18}" for k in
+                         ("eve_budget", "eve_spent", "max_p",
+                          "ever_elected", "messages")))
+
+    print(
+        "\nreading the table: each +1 in p means Eve killed an entire\n"
+        "committee generation; the elected-node count roughly doubles\n"
+        "per escalation (Lemma 2.6), so each further stall costs Eve\n"
+        "about twice as many crashes (Lemma 2.7) -- she runs out of\n"
+        "budget long before the 3*ceil(log n) phases run out."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Scenario: priority-preserving renaming in a Byzantine cluster.
+
+A 16-node coordination cluster assigns compact slot numbers to its
+members.  Original identities encode seniority (lower = older), and
+slot assignments must preserve that order -- exactly the
+order-preserving strong renaming of Theorem 1.3.
+
+Three of the nodes are controlled by an adversary and mount the
+nastiest attacks the model allows: withholding their identity from
+half the committee (forcing the fingerprint divide-and-conquer to
+drill down), equivocating in every committee vote, and simulating a
+crash.  The correct nodes still obtain distinct, order-preserving
+slots.
+
+Run:  python examples/byzantine_cluster.py
+"""
+
+from repro import ByzantineRenamingConfig, run_byzantine_renaming
+from repro.adversary import byzantine as byz
+
+SENIORITY_IDS = [11, 23, 48, 97, 150, 201, 333, 404, 512, 600,
+                 777, 810, 905, 1001, 1203, 1500]
+NAMESPACE = 2048
+
+CORRUPTED = {
+    150: byz.make_withholder(0.5),    # splits the committee's views
+    512: byz.make_equivocator(),      # lies differently to every member
+    905: byz.crash_simulator,         # joins, then plays dead
+}
+
+
+def main() -> None:
+    config = ByzantineRenamingConfig(max_byzantine=5)
+    result = run_byzantine_renaming(
+        SENIORITY_IDS,
+        namespace=NAMESPACE,
+        byzantine=CORRUPTED,
+        config=config,
+        shared_seed=31,
+        seed=32,
+    )
+
+    outputs = result.outputs_by_uid()
+    print(f"cluster: {len(SENIORITY_IDS)} nodes, {len(CORRUPTED)} Byzantine")
+    print("\nseniority id -> slot   (corrupted nodes get no guarantee)")
+    for uid in sorted(SENIORITY_IDS):
+        if uid in CORRUPTED:
+            print(f"  {uid:>5} -> (byzantine: {CORRUPTED[uid].__name__ if hasattr(CORRUPTED[uid], '__name__') else 'corrupted'})")
+        else:
+            print(f"  {uid:>5} -> {outputs[uid]:>2}")
+
+    slots = [outputs[uid] for uid in sorted(outputs)]
+    assert slots == sorted(slots), "order preservation violated!"
+    assert len(set(slots)) == len(slots), "duplicate slots!"
+    print("\norder preserved: seniors keep lower slots  [ok]")
+
+    committee = [p for p in result.processes
+                 if getattr(p, "was_committee", False) and not p.byzantine]
+    splits = max(p.segments_split for p in committee)
+    dirty = max(len(p.dirty_intervals) for p in committee)
+    print(f"\nwhat the attack cost: {result.rounds} rounds, "
+          f"{result.metrics.correct_messages} protocol messages")
+    print(f"fingerprint recursion: {splits} segment splits, "
+          f"up to {dirty} dirty intervals per member")
+    print(f"adversary spam (not charged to the protocol): "
+          f"{result.metrics.byzantine_messages} messages")
+
+
+if __name__ == "__main__":
+    main()

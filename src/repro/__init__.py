@@ -1,0 +1,60 @@
+"""repro: a reproduction of "Robust and Scalable Renaming with
+Subquadratic Bits" (Bai, Fu, Wang, Wang, Zheng; PODC 2025).
+
+Quick start::
+
+    from repro import run_crash_renaming
+
+    result = run_crash_renaming([1017, 4, 902, 311], namespace=2048)
+    print(result.outputs_by_uid())   # {4: 1, 311: 2, 902: 3, 1017: 4}
+
+Public surface:
+
+* :func:`run_crash_renaming` / :class:`CrashRenamingConfig` -- the
+  crash-resilient strong renaming algorithm (Theorem 1.2).
+* :func:`run_byzantine_renaming` / :class:`ByzantineRenamingConfig` --
+  the Byzantine-resilient, order-preserving algorithm (Theorem 1.3).
+* :mod:`repro.baselines` -- the all-to-all algorithms of Table 1.
+* :mod:`repro.adversary` -- crash ("Eve") and Byzantine ("Carlo")
+  failure strategies.
+* :mod:`repro.lowerbound` -- the Omega(n) message lower bound
+  experiment (Theorem 1.4).
+* :mod:`repro.sim` -- the synchronous message-passing substrate.
+"""
+
+from repro.core.byzantine_renaming import (
+    ByzantineRenamingConfig,
+    ByzantineRenamingError,
+    ByzantineRenamingNode,
+    run_byzantine_renaming,
+)
+from repro.core.crash_renaming import (
+    CrashRenamingConfig,
+    CrashRenamingNode,
+    RenamingFailure,
+    run_crash_renaming,
+)
+from repro.core.identity_list import IdentityList
+from repro.core.intervals import Interval, root_interval
+from repro.crypto.shared_randomness import SharedRandomness
+from repro.sim.messages import CostModel
+from repro.sim.runner import ExecutionResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ByzantineRenamingConfig",
+    "ByzantineRenamingError",
+    "ByzantineRenamingNode",
+    "CostModel",
+    "CrashRenamingConfig",
+    "CrashRenamingNode",
+    "ExecutionResult",
+    "IdentityList",
+    "Interval",
+    "RenamingFailure",
+    "SharedRandomness",
+    "root_interval",
+    "run_byzantine_renaming",
+    "run_crash_renaming",
+]

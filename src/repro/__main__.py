@@ -1,0 +1,135 @@
+"""Command-line interface: run the paper's algorithms from a shell.
+
+Examples::
+
+    python -m repro crash --n 64 --f 8 --adversary hunter
+    python -m repro byzantine --n 16 --f 2 --strategy withholder
+    python -m repro table1 --n 32 --f 4
+    python -m repro lowerbound --n 48
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from random import Random
+
+
+def _print_rows(rows: list[dict]) -> None:
+    from repro.analysis.tables import plain_table
+
+    print(plain_table(rows))
+
+
+def cmd_crash(args: argparse.Namespace) -> int:
+    from repro.analysis.experiments import crash_run_summary
+
+    row = crash_run_summary(
+        args.n, args.f, args.seed,
+        adversary=args.adversary if args.f else None,
+    )
+    _print_rows([row])
+    return 0 if row["unique"] and row["strong"] else 1
+
+
+def cmd_byzantine(args: argparse.Namespace) -> int:
+    from repro.analysis.experiments import byzantine_run_summary
+
+    row = byzantine_run_summary(
+        args.n, args.f, args.seed,
+        strategy=args.strategy,
+        f_assumed=max(args.f, 1),
+        consensus_iterations=args.consensus_iterations,
+    )
+    _print_rows([row])
+    ok = row["unique"] and row["strong"] and row["order_preserving"]
+    return 0 if ok else 1
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    from repro.analysis.experiments import table1_rows
+
+    rows = table1_rows(args.n, args.f, seed=args.seed)
+    keep = ("algorithm", "rounds", "messages", "bits", "unique", "strong")
+    _print_rows([{k: row.get(k) for k in keep} for row in rows])
+    return 0
+
+
+def cmd_lowerbound(args: argparse.Namespace) -> int:
+    from repro.lowerbound.anonymous import (
+        SilentRenamingExperiment,
+        exact_success_probability,
+        minimum_messages_for_success,
+    )
+
+    experiment = SilentRenamingExperiment(n=args.n, rng=Random(args.seed))
+    budgets = sorted({0, args.n // 2, args.n - 2, args.n - 1, args.n})
+    rows = [
+        {
+            "messages": budget,
+            "measured": round(experiment.run(budget, args.trials), 3),
+            "exact": round(exact_success_probability(args.n, budget), 3),
+        }
+        for budget in budgets
+    ]
+    _print_rows(rows)
+    print(f"floor for success >= 3/4: "
+          f"{minimum_messages_for_success(args.n, 0.75)} messages (n - 1)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    crash = sub.add_parser("crash", help="run the crash-resilient algorithm")
+    crash.add_argument("--n", type=int, default=64)
+    crash.add_argument("--f", type=int, default=0,
+                       help="crash budget for the adversary")
+    crash.add_argument("--adversary", choices=["hunter", "random"],
+                       default="hunter")
+    crash.add_argument("--seed", type=int, default=1)
+    crash.set_defaults(func=cmd_crash)
+
+    byzantine = sub.add_parser(
+        "byzantine", help="run the Byzantine-resilient algorithm"
+    )
+    byzantine.add_argument("--n", type=int, default=16)
+    byzantine.add_argument("--f", type=int, default=0,
+                           help="number of corrupted nodes")
+    byzantine.add_argument(
+        "--strategy",
+        choices=["withholder", "equivocator", "silent", "crash-sim"],
+        default="withholder",
+    )
+    byzantine.add_argument("--consensus-iterations", type=int, default=8)
+    byzantine.add_argument("--seed", type=int, default=1)
+    byzantine.set_defaults(func=cmd_byzantine)
+
+    table1 = sub.add_parser("table1", help="regenerate Table 1 at one (n, f)")
+    table1.add_argument("--n", type=int, default=32)
+    table1.add_argument("--f", type=int, default=4)
+    table1.add_argument("--seed", type=int, default=1)
+    table1.set_defaults(func=cmd_table1)
+
+    lowerbound = sub.add_parser(
+        "lowerbound", help="the Theorem 1.4 message-floor experiment"
+    )
+    lowerbound.add_argument("--n", type=int, default=48)
+    lowerbound.add_argument("--trials", type=int, default=2000)
+    lowerbound.add_argument("--seed", type=int, default=1)
+    lowerbound.set_defaults(func=cmd_lowerbound)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

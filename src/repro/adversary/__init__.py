@@ -1,0 +1,30 @@
+"""Failure adversaries.
+
+* :mod:`repro.adversary.base` -- the :class:`CrashAdversary` interface
+  consulted by the network engine each round.
+* :mod:`repro.adversary.crash` -- concrete adaptive crash strategies
+  ("Eve"), including the committee-hunter that drives the paper's
+  resource-competitive analysis.
+* :mod:`repro.adversary.byzantine` -- static corruption strategies
+  ("Carlo") and the Byzantine node behaviours they install.
+"""
+
+from repro.adversary.base import CrashAdversary, CrashPlanError, NoCrashes
+from repro.adversary.crash import (
+    BudgetedAdaptiveCrash,
+    CommitteeHunter,
+    MidSendPartitioner,
+    RandomCrash,
+    ScheduledCrash,
+)
+
+__all__ = [
+    "BudgetedAdaptiveCrash",
+    "CommitteeHunter",
+    "CrashAdversary",
+    "CrashPlanError",
+    "MidSendPartitioner",
+    "NoCrashes",
+    "RandomCrash",
+    "ScheduledCrash",
+]

@@ -1,0 +1,76 @@
+"""Crash-adversary interface.
+
+The paper's "Eve" is an adaptive adversary: at any point she may use
+the execution history so far to decide which nodes crash immediately --
+*even in the middle of sending a message*.  The network therefore
+consults the adversary once per round, showing her every alive node's
+proposed outgoing messages, and she answers with a :data:`CrashPlan`:
+a mapping from victim link index to the subset of its proposed messages
+that are still delivered before the crash takes effect.
+
+An empty delivered-subset models "crashed before sending"; a proper
+subset models the mid-send crash the proofs of Lemmas 2.3/2.5 defend
+against.  The network enforces that the plan only names alive nodes,
+that delivered subsets really are subsets, and that the adversary's
+total budget ``f`` is respected.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+if TYPE_CHECKING:  # imported for annotations only, to avoid an import cycle
+    from repro.sim.messages import Send
+    from repro.sim.trace import Trace
+
+#: victim link index -> subset of its proposed sends still delivered.
+CrashPlan = Mapping[int, "Sequence[Send]"]
+
+
+class CrashPlanError(ValueError):
+    """An adversary returned an invalid plan (budget / subset violation)."""
+
+
+class CrashAdversary:
+    """Base class; subclasses implement :meth:`plan_round`.
+
+    Parameters
+    ----------
+    budget:
+        Maximum number of nodes this adversary may crash over the whole
+        execution (the paper's ``f``).
+    """
+
+    def __init__(self, budget: int):
+        if budget < 0:
+            raise ValueError(f"budget must be >= 0, got {budget}")
+        self.budget = budget
+        self.crashed: set[int] = set()
+
+    @property
+    def remaining_budget(self) -> int:
+        return self.budget - len(self.crashed)
+
+    def plan_round(
+        self,
+        round_no: int,
+        proposed: Mapping[int, Sequence[Send]],
+        alive: frozenset[int],
+        trace: Trace,
+    ) -> CrashPlan:
+        """Decide this round's crashes.  Default: crash nobody."""
+        raise NotImplementedError
+
+    def note_crashes(self, victims: set[int]) -> None:
+        """Called by the network after it applies a validated plan."""
+        self.crashed |= victims
+
+
+class NoCrashes(CrashAdversary):
+    """The failure-free adversary (``f = 0``)."""
+
+    def __init__(self):
+        super().__init__(budget=0)
+
+    def plan_round(self, round_no, proposed, alive, trace) -> CrashPlan:
+        return {}

@@ -1,0 +1,72 @@
+"""Closed-form envelopes of the paper's bounds, and slope fitting.
+
+Measured counts are compared against these envelopes up to a constant
+factor: the benchmarks assert the *shape* (who grows like what), not
+the authors' constants, as recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def _log2(x: float) -> float:
+    """log2 clamped below at 1 so envelopes stay monotone for tiny n."""
+    return max(1.0, math.log2(x)) if x > 1 else 1.0
+
+
+def crash_round_bound(n: int) -> int:
+    """Deterministic round bound of Theorem 1.2:
+    ``3 * ceil(log2 n)`` phases of 3 rounds each."""
+    if n <= 1:
+        return 0
+    return 9 * math.ceil(math.log2(n))
+
+
+def crash_message_envelope(n: int, f: int) -> float:
+    """Theorem 1.2 message bound ``O((f + log n) * n log n)``."""
+    return (f + _log2(n)) * n * _log2(n)
+
+
+def byzantine_round_envelope(n: int, f: int, namespace: int) -> float:
+    """Theorem 1.3 round bound ``O(max(f log N, 1) * log n)``."""
+    return max(f * _log2(namespace), 1.0) * _log2(n)
+
+
+def byzantine_message_envelope(n: int, f: int, namespace: int) -> float:
+    """Theorem 1.3 message bound ``O(f log N log^3 n + n log n)``."""
+    return f * _log2(namespace) * _log2(n) ** 3 + n * _log2(n)
+
+
+def obg_message_envelope(n: int) -> float:
+    """All-to-all halving baseline: ``Theta(n^2 log n)`` messages."""
+    return n * n * _log2(n)
+
+
+def gossip_bit_envelope(n: int, namespace: int, assumed_faults: int) -> float:
+    """Gossip baseline: ``Theta((f_assumed + 1) n^2 * n log N)`` bits."""
+    return (assumed_faults + 1) * n * n * n * _log2(namespace)
+
+
+def fit_loglog_slope(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope of ``log y`` against ``log x``.
+
+    The empirical scaling exponent: ~2 for the all-to-all baselines'
+    messages in ``n``, ~1 (plus log factors) for the paper's algorithms.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    if len(xs) < 2:
+        raise ValueError("need at least two points to fit a slope")
+    if any(x <= 0 for x in xs) or any(y <= 0 for y in ys):
+        raise ValueError("log-log fit needs strictly positive data")
+    log_x = [math.log(x) for x in xs]
+    log_y = [math.log(y) for y in ys]
+    mean_x = sum(log_x) / len(log_x)
+    mean_y = sum(log_y) / len(log_y)
+    sxx = sum((x - mean_x) ** 2 for x in log_x)
+    if sxx == 0:
+        raise ValueError("xs are all equal; slope is undefined")
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(log_x, log_y))
+    return sxy / sxx

@@ -1,0 +1,60 @@
+"""Seed-replicated summary statistics for experiment sweeps."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean / spread of one measured quantity over seed replications."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    count: int
+
+    def as_dict(self) -> dict:
+        return {
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "max": self.maximum,
+            "count": self.count,
+        }
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    if not values:
+        raise ValueError("cannot summarize an empty sequence")
+    count = len(values)
+    mean = sum(values) / count
+    if count > 1:
+        variance = sum((v - mean) ** 2 for v in values) / (count - 1)
+    else:
+        variance = 0.0
+    return Summary(
+        mean=mean,
+        std=math.sqrt(variance),
+        minimum=min(values),
+        maximum=max(values),
+        count=count,
+    )
+
+
+def replicate(
+    run: Callable[[int], Mapping[str, float]],
+    seeds: Sequence[int],
+) -> dict[str, Summary]:
+    """Run ``run(seed)`` for every seed and summarize each metric key."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    samples: dict[str, list[float]] = {}
+    for seed in seeds:
+        row = run(seed)
+        for key, value in row.items():
+            samples.setdefault(key, []).append(float(value))
+    return {key: summarize(values) for key, values in samples.items()}

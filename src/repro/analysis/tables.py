@@ -1,0 +1,76 @@
+"""Table formatting shared by the CLI, the bench report, and examples.
+
+One row model everywhere: a ``dict`` per row, columns taken from the
+first row (or given explicitly).  Two renderers: aligned plain text for
+terminals, pipe-table markdown for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+Row = Mapping[str, object]
+
+
+def _format_cell(value: object, float_digits: int) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{float_digits}f}"
+    return str(value)
+
+
+def _columns(rows: Sequence[Row], columns: Optional[Sequence[str]]) -> list[str]:
+    if columns is not None:
+        return list(columns)
+    if not rows:
+        return []
+    return list(rows[0].keys())
+
+
+def plain_table(rows: Sequence[Row], columns: Optional[Sequence[str]] = None,
+                float_digits: int = 2) -> str:
+    """An aligned, human-readable table.
+
+    >>> print(plain_table([{"a": 1, "b": True}, {"a": 23, "b": False}]))
+    a   b
+    1   yes
+    23  no
+    """
+    columns = _columns(rows, columns)
+    if not columns:
+        return "(no rows)"
+    grid = [columns] + [
+        [_format_cell(row.get(column), float_digits) for column in columns]
+        for row in rows
+    ]
+    widths = [
+        max(len(line[index]) for line in grid)
+        for index in range(len(columns))
+    ]
+    return "\n".join(
+        "  ".join(cell.ljust(width) for cell, width in zip(line, widths)).rstrip()
+        for line in grid
+    )
+
+
+def markdown_table(rows: Sequence[Row], columns: Optional[Sequence[str]] = None,
+                   float_digits: int = 2) -> str:
+    """A GitHub-style pipe table (the EXPERIMENTS.md format)."""
+    columns = _columns(rows, columns)
+    if not columns:
+        return "(no rows)"
+    lines = [
+        "| " + " | ".join(columns) + " |",
+        "|" + "---|" * len(columns),
+    ]
+    for row in rows:
+        cells = [_format_cell(row.get(column), float_digits)
+                 for column in columns]
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def select(rows: Sequence[Row], columns: Sequence[str]) -> list[dict]:
+    """Project rows onto the given columns (missing keys become None)."""
+    return [{column: row.get(column) for column in columns} for row in rows]

@@ -1,0 +1,86 @@
+"""Execution timelines: render what happened, round by round.
+
+Turns an :class:`~repro.sim.runner.ExecutionResult` (run with
+``trace=True``) into human-readable summaries -- used by the examples
+and by failure-injection tests that want to assert on *when* things
+happened rather than only on final outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.runner import ExecutionResult
+
+
+@dataclass(frozen=True)
+class RoundSummary:
+    round_no: int
+    messages: int
+    bits: int
+    crashes: tuple[int, ...]
+    terminations: tuple[int, ...]
+
+
+def round_summaries(result: ExecutionResult) -> list[RoundSummary]:
+    """One summary per executed round (requires metrics; trace optional)."""
+    crashes_by_round: dict[int, list[int]] = {}
+    terms_by_round: dict[int, list[int]] = {}
+    for event in result.trace:
+        if event.kind == "crash":
+            crashes_by_round.setdefault(event.round_no, []).append(event.node)
+        elif event.kind == "terminate":
+            terms_by_round.setdefault(event.round_no, []).append(event.node)
+    summaries = []
+    for index, (messages, bits) in enumerate(
+        zip(result.metrics.messages_per_round, result.metrics.bits_per_round)
+    ):
+        round_no = index + 1
+        summaries.append(RoundSummary(
+            round_no=round_no,
+            messages=messages,
+            bits=bits,
+            crashes=tuple(sorted(crashes_by_round.get(round_no, []))),
+            terminations=tuple(sorted(terms_by_round.get(round_no, []))),
+        ))
+    return summaries
+
+
+def render_timeline(result: ExecutionResult, *, width: int = 40) -> str:
+    """An ASCII timeline: one line per round, message volume as a bar."""
+    summaries = round_summaries(result)
+    if not summaries:
+        return "(no rounds executed)"
+    peak = max(summary.messages for summary in summaries) or 1
+    lines = []
+    for summary in summaries:
+        bar = "#" * max(
+            1 if summary.messages else 0,
+            round(summary.messages / peak * width),
+        )
+        annotations = []
+        if summary.crashes:
+            annotations.append(f"crash:{list(summary.crashes)}")
+        if summary.terminations:
+            annotations.append(f"done:{len(summary.terminations)}")
+        suffix = ("  " + " ".join(annotations)) if annotations else ""
+        lines.append(
+            f"r{summary.round_no:>4} |{bar:<{width}}| "
+            f"{summary.messages:>7} msgs{suffix}"
+        )
+    return "\n".join(lines)
+
+
+def describe(result: ExecutionResult) -> str:
+    """A one-paragraph execution summary."""
+    metrics = result.metrics
+    return (
+        f"{result.rounds} rounds; "
+        f"{metrics.correct_messages} correct messages "
+        f"({metrics.correct_bits} bits, largest "
+        f"{metrics.max_message_bits} bits); "
+        f"{metrics.byzantine_messages} adversary messages; "
+        f"{len(result.crashed)} crashed, "
+        f"{len(result.byzantine)} Byzantine, "
+        f"{len(result.correct_results)} correct nodes finished"
+    )

@@ -1,0 +1,10 @@
+"""Application layer: what a downstream system builds on renaming.
+
+* :mod:`repro.apps.overlay_directory` -- an epoch-based compact-identity
+  directory for churning overlays (the paper's cryptocurrency-network
+  motivation), built on the crash-resilient renaming algorithm.
+"""
+
+from repro.apps.overlay_directory import EpochReport, OverlayDirectory
+
+__all__ = ["EpochReport", "OverlayDirectory"]

@@ -1,0 +1,39 @@
+"""Baseline renaming algorithms from Table 1's prior-work rows.
+
+Both baselines are *all-to-all* designs, which is exactly the property
+the paper's algorithms remove; measured side by side they reproduce the
+``Omega(n^2)`` message / ``Omega(n^3)`` bit wall of Table 1.
+
+* :mod:`repro.baselines.obg_halving` -- every node halves its own
+  interval from everyone's broadcast status each phase, in the style of
+  Okun-Barak-Gafni [34] / Chaudhuri et al. [15]: ``O(log n)`` rounds,
+  ``Theta(n^2 log n)`` messages of ``O(log N)`` bits.
+* :mod:`repro.baselines.collect_rank` -- full-information gossip for
+  ``f_assumed + 1`` rounds then rank-in-set, in the style of the early
+  consensus-based solutions [20, 33]: rounds grow with the *assumed*
+  fault bound and messages carry ``Theta(n log N)`` bits, i.e.
+  ``O(n^3 log N)`` bits at full resilience.
+* :mod:`repro.baselines.balls_into_slots` -- randomized slot racing in
+  the spirit of Alistarh et al.'s balls-into-leaves [3]: few rounds,
+  small messages, but still all-to-all claim broadcasts.
+
+A third comparison point, the committee-less ablation of the paper's
+own Byzantine algorithm, needs no code of its own: run
+``run_byzantine_renaming`` with ``candidate_probability=1.0``.
+"""
+
+from repro.baselines.balls_into_slots import (
+    BallsIntoSlotsNode,
+    run_balls_into_slots,
+)
+from repro.baselines.collect_rank import CollectRankNode, run_collect_rank
+from repro.baselines.obg_halving import ObgHalvingNode, run_obg_halving
+
+__all__ = [
+    "BallsIntoSlotsNode",
+    "CollectRankNode",
+    "ObgHalvingNode",
+    "run_balls_into_slots",
+    "run_collect_rank",
+    "run_obg_halving",
+]

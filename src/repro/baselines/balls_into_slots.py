@@ -1,0 +1,165 @@
+"""Randomized balls-into-slots renaming (the [3]-style baseline family).
+
+Alistarh, Denysyuk, Rodrigues and Shavit's "balls-into-leaves" solves
+strong renaming in ``O(log log f)`` rounds by treating names as leaves
+and nodes as balls that race for them with load-balanced random
+probes.  This module implements the family's flat core -- random slot
+claiming with deterministic conflict resolution -- which preserves the
+properties Table 1 charges the family for: all-to-all claim broadcasts
+(``Theta(n^2)`` messages over the execution) with small ``O(log N)``-bit
+messages, randomized round count concentrated at ``O(log n)``.
+
+One round, for each unnamed node:
+
+1. pick a uniformly random slot among those not known taken;
+2. broadcast ``CLAIM(slot, ID)``;
+3. the winner of a slot is the smallest identity among the claims a
+   node *received* for it; a node takes the slot iff it won in its own
+   view, and everybody marks every claimed slot as taken.
+
+Safety under mid-send crashes: a non-crashed claimant's broadcast
+reaches everyone, so two *alive* nodes can only contend inside one
+round, where the min-identity rule orders them consistently; a slot
+whose only claimant crashed is leaked, but at most one slot leaks per
+crash, and crashed nodes need no names, so ``n`` slots always suffice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.adversary.base import CrashAdversary
+from repro.sim.messages import CostModel, Message, broadcast
+from repro.sim.node import Context, Process, Program
+from repro.sim.runner import ExecutionResult, run_network
+
+#: Safety valve: the adversary cannot stall the protocol this long
+#: (the per-round success probability is constant), so exceeding it
+#: indicates a bug rather than bad luck.
+MAX_CLAIM_ROUNDS = 10_000
+
+
+@dataclass(frozen=True)
+class SlotClaim(Message):
+    """``CLAIM(slot, ID)``: one ball racing for one leaf."""
+
+    slot: int
+    uid: int
+
+    def payload_bits(self, cost: CostModel) -> int:
+        return cost.index_bits + cost.id_bits
+
+
+@dataclass(frozen=True)
+class SlotRelease(Message):
+    """Keep-alive of a named node: re-announces its final slot so late
+    observers cannot mistake the slot for free."""
+
+    slot: int
+    uid: int
+
+    def payload_bits(self, cost: CostModel) -> int:
+        return cost.index_bits + cost.id_bits
+
+
+class BallsIntoSlotsNode(Process):
+    """One participant of the balls-into-slots baseline.
+
+    ``slots`` is the target namespace size ``M`` (Definition 1.1 allows
+    any ``n <= M < N``).  ``M = n`` (default) is strong renaming --
+    the hardest case, where the last contenders race for the last few
+    slots.  ``M = (1 + eps) n`` is *loose* renaming: the slack keeps
+    the collision probability per probe below eps/(1+eps), so the race
+    finishes in O(log(1/eps))-ish rounds instead of O(log n) -- the
+    classical time-for-namespace trade, measured in experiment F13.
+    """
+
+    def __init__(self, uid: int, slots: Optional[int] = None):
+        super().__init__(uid)
+        self.slots = slots
+        self.my_slot: Optional[int] = None
+        self.rounds_to_name: Optional[int] = None
+
+    def program(self, ctx: Context) -> Program:
+        n = ctx.n
+        slot_count = self.slots if self.slots is not None else n
+        if slot_count < n:
+            raise ValueError(
+                f"target namespace M={slot_count} smaller than n={n}"
+            )
+        taken: set[int] = set()
+        quiescent = False
+        round_index = 0
+        while True:
+            round_index += 1
+            if round_index > MAX_CLAIM_ROUNDS:  # pragma: no cover
+                raise RuntimeError(f"node {self.uid}: claim race stalled")
+
+            my_claim: Optional[int] = None
+            if self.my_slot is None:
+                free = [slot for slot in range(1, slot_count + 1)
+                        if slot not in taken]
+                if not free:
+                    raise RuntimeError(
+                        f"node {self.uid}: no free slots "
+                        f"(leaked more slots than crashes?)"
+                    )
+                my_claim = free[ctx.rng.randrange(len(free))]
+                outgoing = broadcast(n, SlotClaim(my_claim, self.uid))
+            elif quiescent:
+                # Last round carried no fresh claims: every alive node is
+                # named (unnamed nodes always claim), so the race is over.
+                return self.my_slot
+            else:
+                # Keep the slot visible to stragglers until quiescence.
+                outgoing = broadcast(n, SlotRelease(self.my_slot, self.uid))
+            inbox = yield outgoing
+
+            contenders: dict[int, list[int]] = {}
+            fresh_claims = False
+            for envelope in inbox:
+                message = envelope.message
+                if isinstance(message, SlotClaim):
+                    fresh_claims = True
+                    contenders.setdefault(message.slot, []).append(message.uid)
+                    taken.add(message.slot)
+                elif isinstance(message, SlotRelease):
+                    taken.add(message.slot)
+
+            if my_claim is not None:
+                rivals = contenders.get(my_claim, [self.uid])
+                if min(rivals) >= self.uid:
+                    self.my_slot = my_claim
+                    self.rounds_to_name = round_index
+            quiescent = not fresh_claims
+
+
+def run_balls_into_slots(
+    uids: Sequence[int],
+    *,
+    namespace: Optional[int] = None,
+    slots: Optional[int] = None,
+    adversary: Optional[CrashAdversary] = None,
+    seed: int = 0,
+    trace: bool = False,
+) -> ExecutionResult:
+    """Run the balls-into-slots baseline for nodes with ids ``uids``.
+
+    ``slots`` is the target namespace ``M`` (default ``n``: strong
+    renaming); pass ``M > n`` for loose renaming.
+    """
+    uids = list(uids)
+    if len(set(uids)) != len(uids):
+        raise ValueError("original identities must be distinct")
+    if slots is not None and slots < len(uids):
+        raise ValueError(
+            f"target namespace M={slots} smaller than n={len(uids)}"
+        )
+    if namespace is None:
+        namespace = max(max(uids), len(uids), slots or 0)
+    cost = CostModel(n=len(uids), namespace=namespace)
+    processes = [BallsIntoSlotsNode(uid, slots=slots) for uid in uids]
+    return run_network(
+        processes, cost, crash_adversary=adversary, seed=seed, trace=trace
+    )

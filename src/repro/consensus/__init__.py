@@ -1,0 +1,36 @@
+"""In-committee agreement subprotocols (Lemmas 3.3 and 3.4).
+
+The Byzantine-resilient renaming algorithm repeatedly runs two
+primitives among the elected committee:
+
+* :func:`~repro.consensus.validator.validator` -- the weak validator of
+  Lenzen & Sheikholeslami [29] as specified by Lemma 3.3: strong
+  validity plus weak agreement in exactly 2 rounds.
+* :func:`~repro.consensus.binary.binary_consensus` -- classical binary
+  consensus (Lemma 3.4), realised with graded broadcast plus a shared
+  coin, terminating in a fixed ``O(log n)`` number of rounds with
+  failure probability ``2^-iterations``.
+
+Both are generator *sub-programs*: a committee member's main program
+delegates to them with ``yield from``, so their rounds execute inside
+the same network execution and are charged to the same metrics ledger.
+They communicate through a :class:`~repro.consensus.comm.CommitteeComm`,
+which pins down the member's committee view, the Byzantine bound
+``b_max``, and a monotone step counter that lets receivers discard
+stale or replayed votes.
+"""
+
+from repro.consensus.binary import binary_consensus
+from repro.consensus.comm import CommitteeComm, SubVote, exchange
+from repro.consensus.graded import BOTTOM, graded_broadcast
+from repro.consensus.validator import validator
+
+__all__ = [
+    "BOTTOM",
+    "CommitteeComm",
+    "SubVote",
+    "binary_consensus",
+    "exchange",
+    "graded_broadcast",
+    "validator",
+]

@@ -1,0 +1,66 @@
+"""Binary consensus (Lemma 3.4) from graded broadcast plus a shared coin.
+
+The paper's ``Consensus`` is "classical binary consensus" with validity
+and agreement, costing ``O(log n)`` rounds per execution in the
+complexity accounting of Theorem 1.3.  Since the algorithm already
+assumes shared randomness, the natural classical construction is the
+Rabin-style iterated protocol:
+
+repeat for a fixed number of iterations:
+    1. graded-broadcast the current value;
+    2. grade >= 1 -> adopt the (unique) graded value;
+       grade 0    -> adopt the iteration's shared coin.
+
+* **Validity** -- if all correct members start with ``b`` they obtain
+  grade 2 with ``b`` in iteration 1 and unanimity persists forever; for
+  binary inputs any output trivially equals some correct input.
+* **Agreement** -- once any correct member reaches grade 2 with ``x``,
+  every correct member has grade >= 1 with ``x`` that same iteration,
+  so all hold ``x`` from then on.  While nobody has decided, each
+  iteration the shared coin matches the unique grade-1 value with
+  probability 1/2, after which unanimity (hence grade 2 everywhere)
+  follows; the probability that ``iterations`` rounds all fail is at
+  most ``2^-iterations``.
+
+A *fixed* iteration count keeps all correct members in lockstep -- the
+outer renaming loop schedules subprotocols back to back and must know
+exactly how many rounds each consumes.  Cost: ``2 * iterations``
+rounds, ``O(|view|^2 * iterations)`` messages, each of ``O(log N)``
+bits -- the Lemma 3.4 budget.
+"""
+
+from __future__ import annotations
+
+from repro.consensus.comm import CommitteeComm
+from repro.consensus.graded import graded_broadcast
+from repro.crypto.shared_randomness import SharedRandomness
+
+#: Default iteration count: per-execution failure probability 2^-12.
+DEFAULT_ITERATIONS = 12
+
+
+def binary_consensus(
+    comm: CommitteeComm,
+    bit: int,
+    shared: SharedRandomness,
+    label: str,
+    iterations: int = DEFAULT_ITERATIONS,
+):
+    """Generator sub-program; returns the agreed bit.
+
+    ``label`` must be unique per consensus execution and identical at
+    all correct members (it seeds the shared coins); the renaming
+    protocol derives it from its deterministic step counter.
+    """
+    if bit not in (0, 1):
+        raise ValueError(f"consensus input must be a bit, got {bit!r}")
+    if iterations < 1:
+        raise ValueError(f"need at least one iteration, got {iterations}")
+    value = bit
+    for iteration in range(iterations):
+        grade, out = yield from graded_broadcast(comm, value, width=1)
+        if grade >= 1 and out in (0, 1):
+            value = out
+        else:
+            value = shared.coin(f"consensus:{label}:{iteration}")
+    return value

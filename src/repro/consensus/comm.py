@@ -1,0 +1,106 @@
+"""Lockstep communication between committee members.
+
+All correct committee members execute the identical sequence of
+subprotocol steps (Lemma 3.8 guarantees their segment stacks stay in
+sync), so each communication step can be identified by a monotone
+sequence number.  :class:`CommitteeComm` owns that counter, the
+member's committee view, and the Byzantine bound ``b_max`` the
+threshold logic depends on; :func:`exchange` performs one
+broadcast-to-view round and collects, per view member, the first
+well-formed vote for the current step.
+
+Byzantine strategies hook :meth:`CommitteeComm.outgoing_value` to
+equivocate (send different values to different receivers) without
+having to re-implement the lockstep schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.sim.messages import CostModel, Envelope, Message, Send
+
+
+@dataclass(frozen=True)
+class SubVote(Message):
+    """One vote inside an in-committee subprotocol.
+
+    ``step`` identifies the communication step (stale or replayed votes
+    are ignored by receivers); ``kind`` names the subprotocol round;
+    ``width`` is the payload's bit width under the cost model, declared
+    by the sender and identical at every correct node because it is a
+    function of public parameters only.
+    """
+
+    step: int
+    kind: str
+    value: object
+    width: int
+
+    def payload_bits(self, cost: CostModel) -> int:
+        # payload + step counter framing; the kind tag rides in the header.
+        return self.width + 2 * cost.counter_bits
+
+
+class CommitteeComm:
+    """One committee member's view of in-committee communication."""
+
+    def __init__(self, view: Iterable[int], b_max: int):
+        self.view = sorted(set(view))
+        if not self.view:
+            raise ValueError("committee view must not be empty")
+        if b_max < 0:
+            raise ValueError(f"b_max must be >= 0, got {b_max}")
+        self.b_max = b_max
+        self.step = 0
+
+    def outgoing_value(self, kind: str, value: object, receiver: int) -> object:
+        """The value actually sent to ``receiver`` (hook for equivocators)."""
+        return value
+
+    def sends(self, kind: str, value: object, width: int) -> list[Send]:
+        return [
+            Send(link, SubVote(self.step, kind,
+                               self.outgoing_value(kind, value, link), width))
+            for link in self.view
+        ]
+
+    def collect(self, inbox: Sequence[Envelope], kind: str) -> dict[int, object]:
+        """First well-formed vote per view member for the current step."""
+        votes: dict[int, object] = {}
+        members = set(self.view)
+        for envelope in inbox:
+            message = envelope.message
+            if (
+                isinstance(message, SubVote)
+                and message.step == self.step
+                and message.kind == kind
+                and envelope.sender in members
+                and envelope.sender not in votes
+            ):
+                votes[envelope.sender] = message.value
+        return votes
+
+
+def exchange(comm: CommitteeComm, kind: str, value: object, width: int):
+    """One synchronous all-to-view vote round (generator sub-program).
+
+    Yields the member's sends for this round and returns the mapping
+    ``sender link -> value`` of votes received from its view.
+    """
+    comm.step += 1
+    inbox = yield comm.sends(kind, value, width)
+    return comm.collect(inbox, kind)
+
+
+def plurality(votes: Iterable[object]) -> tuple[object, int]:
+    """The most frequent value and its count, with a deterministic
+    tie-break (lexicographic on ``repr``) so replays are stable."""
+    counts: dict[object, int] = {}
+    for value in votes:
+        counts[value] = counts.get(value, 0) + 1
+    if not counts:
+        raise ValueError("no votes to take a plurality of")
+    best = min(counts.items(), key=lambda item: (-item[1], repr(item[0])))
+    return best[0], best[1]

@@ -1,0 +1,33 @@
+"""The weak validator of Lemma 3.3 (after Lenzen-Sheikholeslami [29]).
+
+Interface, for each correct committee member ``v`` with input
+``in_v`` (a short bit string, here any hashable value):
+
+* output ``(same_v, out_v)`` with ``same_v`` a bit;
+* **strong validity**: ``out_v`` equals some correct member's input;
+  and if *all* correct members input the same value ``in``, then
+  ``same_v = 1`` and ``out_v = in``;
+* **weak agreement**: if ``same_v = 1`` then ``out_u = out_v`` for
+  every correct member ``u``.
+
+The construction is one graded broadcast: grade 2 maps to
+``same = 1``; grade 1 keeps the (unique, correct-sourced) popular
+value with ``same = 0``; grade 0 falls back to the member's own input,
+which trivially satisfies strong validity.  Exactly 2 rounds and
+``O(|view|^2)`` messages per invocation, matching Lemma 3.3's budget.
+"""
+
+from __future__ import annotations
+
+from repro.consensus.comm import CommitteeComm
+from repro.consensus.graded import BOTTOM, graded_broadcast
+
+
+def validator(comm: CommitteeComm, value: object, width: int):
+    """Generator sub-program; returns ``(same, out)``."""
+    grade, out = yield from graded_broadcast(comm, value, width)
+    if grade == 2:
+        return 1, out
+    if grade == 1 and out != BOTTOM:
+        return 0, out
+    return 0, value

@@ -1,0 +1,38 @@
+"""The paper's primary contribution: two strong renaming algorithms.
+
+* :mod:`repro.core.intervals` -- the interval-halving tree over
+  ``[1, n]`` shared by Section 2 and the OBG baseline.
+* :mod:`repro.core.crash_renaming` -- the crash-resilient strong
+  renaming algorithm (Theorem 1.2, Figures 1-3).
+* :mod:`repro.core.identity_list` -- the length-``N`` identity bit
+  vector with segment stack used by Section 3.
+* :mod:`repro.core.byzantine_renaming` -- the Byzantine-resilient,
+  order-preserving strong renaming algorithm (Theorem 1.3).
+"""
+
+from repro.core.byzantine_renaming import (
+    ByzantineRenamingConfig,
+    ByzantineRenamingNode,
+    run_byzantine_renaming,
+)
+from repro.core.crash_renaming import (
+    CrashRenamingConfig,
+    CrashRenamingNode,
+    RenamingFailure,
+    run_crash_renaming,
+)
+from repro.core.identity_list import IdentityList
+from repro.core.intervals import Interval, root_interval
+
+__all__ = [
+    "ByzantineRenamingConfig",
+    "ByzantineRenamingNode",
+    "CrashRenamingConfig",
+    "CrashRenamingNode",
+    "IdentityList",
+    "Interval",
+    "RenamingFailure",
+    "root_interval",
+    "run_byzantine_renaming",
+    "run_crash_renaming",
+]

@@ -1,0 +1,304 @@
+"""Crash-resilient strong renaming (Theorem 1.2, Figures 1-3).
+
+The algorithm runs ``3 * ceil(log2 n)`` phases of three rounds each:
+
+1. **Committee announcement** -- every current committee member
+   broadcasts a notification over all ``n`` links.
+2. **Status report** -- every node sends
+   ``<ID(v), I_v, d_v, p_v>`` to every link it heard an announcement
+   from; committee members absorb the maximum ``p`` they received.
+3. **Halving / re-election** -- each committee member halves exactly
+   the intervals at the *minimum* reported depth and answers every
+   reporter; a node that hears no response assumes the whole committee
+   crashed, increments ``p_v`` and self-elects with probability
+   ``min(1, c * 2^{p_v} * log2(n) / n)``.
+
+Correctness (uniqueness of the resulting names) is deterministic;
+message complexity is ``O((f + log n) * n log n)`` w.h.p., where ``f``
+is the *actual* number of crashes -- the committee re-election schedule
+is what makes the cost scale with ``f`` (Lemmas 2.4-2.7).
+
+The implementation transliterates the pseudocode; the only knob is the
+election constant (paper: 256), exposed because the paper's
+proof-friendly constant makes every node a committee member for any
+practical ``n`` (``256 log n >= n`` until ``n ~ 2^11``), hiding the
+very scaling the theorems describe.  Benchmarks use a smaller constant
+and record that choice in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.adversary.base import CrashAdversary
+from repro.core.intervals import Interval, root_interval
+from repro.sim.messages import CostModel, Envelope, Message, Send, broadcast
+from repro.sim.node import Context, Process, Program
+from repro.sim.runner import ExecutionResult, run_network
+
+
+class RenamingFailure(RuntimeError):
+    """A node finished all phases without reducing its interval to size 1."""
+
+
+@dataclass(frozen=True)
+class CommitteeNotice(Message):
+    """Round-1 announcement: "I am a committee member"."""
+
+    def payload_bits(self, cost: CostModel) -> int:
+        return 0
+
+
+@dataclass(frozen=True)
+class Status(Message):
+    """Round-2 report ``<ID(v), I_v, d_v, p_v>``."""
+
+    uid: int
+    interval: Interval
+    depth: int
+    p: int
+
+    def payload_bits(self, cost: CostModel) -> int:
+        return (cost.id_bits + 2 * cost.index_bits
+                + cost.depth_bits + cost.counter_bits)
+
+
+@dataclass(frozen=True)
+class Done(Message):
+    """Early-stopping broadcast: every reporter holds a singleton."""
+
+    def payload_bits(self, cost: CostModel) -> int:
+        return 0
+
+
+@dataclass(frozen=True)
+class Response(Message):
+    """Round-3 committee answer ``<ID(w), I, d, p_u>``."""
+
+    uid: int
+    interval: Interval
+    depth: int
+    p: int
+
+    def payload_bits(self, cost: CostModel) -> int:
+        return (cost.id_bits + 2 * cost.index_bits
+                + cost.depth_bits + cost.counter_bits)
+
+
+@dataclass(frozen=True)
+class CrashRenamingConfig:
+    """Tunable constants of the crash-resilient algorithm.
+
+    ``election_constant`` is the ``256`` of the paper's probability
+    ``(256 * 2^p * log n) / n``; ``phase_multiplier`` is the ``3`` of
+    ``3 * ceil(log n)`` phases.  ``early_stopping`` enables an optional
+    extension beyond the paper: once a committee member observes that
+    *every* reporter owns a singleton interval, it broadcasts DONE and
+    nodes terminate immediately instead of idling through the remaining
+    phases.  Safe because names never change once intervals are
+    singletons, and a node that misses the DONE (mid-send crash) simply
+    keeps running the unmodified protocol.
+    """
+
+    election_constant: float = 256.0
+    phase_multiplier: int = 3
+    early_stopping: bool = False
+
+    def election_probability(self, p: int, n: int) -> float:
+        if n <= 1:
+            return 0.0
+        raw = self.election_constant * (2 ** p) * math.log2(n) / n
+        return min(1.0, raw)
+
+    def phase_count(self, n: int) -> int:
+        return self.phase_multiplier * math.ceil(math.log2(n)) if n > 1 else 0
+
+
+class CrashRenamingNode(Process):
+    """One participant of the crash-resilient renaming algorithm."""
+
+    def __init__(self, uid: int, config: Optional[CrashRenamingConfig] = None):
+        super().__init__(uid)
+        self.config = config or CrashRenamingConfig()
+        # Protocol state; exposed for tests / the committee ablation (F8).
+        self.p = 0
+        self.elected = False
+        self.final_p = 0
+        self.ever_elected = False
+        self.interval: Optional[Interval] = None
+        self.depth = 0
+        #: One (interval, depth, p, elected) snapshot per completed
+        #: phase -- the observable the per-phase lemma tests (2.3, 2.5)
+        #: quantify over.
+        self.phase_log: list[tuple[Interval, int, int, bool]] = []
+
+    # -- committee-side logic -------------------------------------------
+
+    def _committee_action(self, statuses: list[tuple[int, Status]],
+                          p_self: int) -> list[Send]:
+        """Figure 2: halve minimum-depth intervals, answer every reporter."""
+        if not statuses:
+            return []
+        min_depth = min(status.depth for _, status in statuses)
+        out: list[Send] = []
+        for link, status in statuses:
+            if status.depth != min_depth:
+                reply = Response(status.uid, status.interval, status.depth, p_self)
+                out.append(Send(link, reply))
+                continue
+            if status.interval.is_singleton:
+                # The reporter already owns a name.  Uneven halving puts
+                # singletons at shallow depths (e.g. [3,3] at depth 1 for
+                # n = 3), so a singleton can sit at the minimum reported
+                # depth; advancing its depth counter (interval unchanged)
+                # keeps the minimum-depth pointer moving, which is what
+                # the progress argument of Lemma 2.2 needs.
+                reply = Response(status.uid, status.interval,
+                                 status.depth + 1, p_self)
+                out.append(Send(link, reply))
+                continue
+            same_interval_ids = sorted(
+                other.uid for _, other in statuses
+                if other.interval == status.interval
+            )
+            bot = status.interval.bot()
+            below_bot = [
+                other.uid for _, other in statuses
+                if bot.contains_interval(other.interval)
+            ]
+            rank = same_interval_ids.index(status.uid) + 1
+            if len(below_bot) + rank <= bot.size:
+                child = bot
+            else:
+                child = status.interval.top()
+            reply = Response(status.uid, child, status.depth + 1, p_self)
+            out.append(Send(link, reply))
+        return out
+
+    # -- node-side logic -------------------------------------------------
+
+    def _node_action(self, responses: list[Response], ctx: Context) -> None:
+        """Figure 3: adopt the committee's decision or re-elect."""
+        if not responses:
+            self.p += 1
+            self._maybe_self_elect(ctx)
+            return
+        responses = sorted(
+            responses, key=lambda r: (-r.depth, r.interval.lo, r.interval.hi)
+        )
+        first = responses[0]
+        self.depth = first.depth
+        if not self.interval.is_singleton:
+            self.interval = first.interval
+        p_hat = max(response.p for response in responses)
+        if p_hat > self.p:
+            self.p = p_hat
+            if not self.elected:
+                self._maybe_self_elect(ctx)
+
+    def _maybe_self_elect(self, ctx: Context) -> None:
+        probability = self.config.election_probability(self.p, ctx.n)
+        if not self.elected and ctx.rng.random() < probability:
+            self.elected = True
+            self.ever_elected = True
+
+    # -- the synchronous program -----------------------------------------
+
+    def program(self, ctx: Context) -> Program:
+        n = ctx.n
+        self.interval = root_interval(n)
+        self.p = 0
+        self.depth = 0
+        self.elected = False
+        if n > 1 and ctx.rng.random() < self.config.election_probability(0, n):
+            self.elected = True
+            self.ever_elected = True
+
+        for _phase in range(self.config.phase_count(n)):
+            # Round 1: committee announcement.
+            announcements = broadcast(n, CommitteeNotice()) if self.elected else []
+            inbox = yield announcements
+            committee_links = sorted({
+                envelope.sender for envelope in inbox
+                if isinstance(envelope.message, CommitteeNotice)
+            })
+
+            # Round 2: status reports to every announced committee member.
+            my_status = Status(self.uid, self.interval, self.depth, self.p)
+            inbox = yield [Send(link, my_status) for link in committee_links]
+            statuses = [
+                (envelope.sender, envelope.message) for envelope in inbox
+                if isinstance(envelope.message, Status)
+            ]
+            if self.elected and statuses:
+                self.p = max(self.p, max(s.p for _, s in statuses))
+
+            # Round 3: halving decisions out, node action on what came back.
+            if self.elected:
+                if (
+                    self.config.early_stopping
+                    and statuses
+                    and all(s.interval.is_singleton for _, s in statuses)
+                ):
+                    # Every alive node reported a singleton: the renaming
+                    # is complete, tell everyone to stop idling.
+                    decisions = broadcast(n, Done())
+                else:
+                    decisions = self._committee_action(statuses, self.p)
+            else:
+                decisions = []
+            inbox = yield decisions
+            if self.interval.is_singleton and any(
+                isinstance(envelope.message, Done) for envelope in inbox
+            ):
+                break
+            responses = [
+                envelope.message for envelope in inbox
+                if isinstance(envelope.message, Response)
+            ]
+            self._node_action(responses, ctx)
+            self.phase_log.append(
+                (self.interval, self.depth, self.p, self.elected)
+            )
+
+        self.final_p = self.p
+        if not self.interval.is_singleton:
+            raise RenamingFailure(
+                f"node {self.uid} finished with interval {self.interval}"
+            )
+        return self.interval.lo
+
+
+def run_crash_renaming(
+    uids: Sequence[int],
+    *,
+    namespace: Optional[int] = None,
+    adversary: Optional[CrashAdversary] = None,
+    config: Optional[CrashRenamingConfig] = None,
+    seed: int = 0,
+    trace: bool = False,
+) -> ExecutionResult:
+    """Run the crash-resilient algorithm for nodes with identities ``uids``.
+
+    ``uids`` must be distinct values in ``[1, namespace]``; the result's
+    ``outputs_by_uid()`` maps each surviving node's original identity to
+    its new identity in ``[1, n]``.
+    """
+    uids = list(uids)
+    if len(set(uids)) != len(uids):
+        raise ValueError("original identities must be distinct")
+    if namespace is None:
+        namespace = max(max(uids), len(uids))
+    if any(not 1 <= uid <= namespace for uid in uids):
+        raise ValueError(f"identities must lie in [1, {namespace}]")
+    cost = CostModel(n=len(uids), namespace=namespace)
+    processes = [CrashRenamingNode(uid, config) for uid in uids]
+    return run_network(
+        processes,
+        cost,
+        crash_adversary=adversary,
+        seed=seed,
+        trace=trace,
+    )

@@ -1,0 +1,25 @@
+"""Cryptographic substrates: shared randomness, fingerprints, authentication.
+
+These modules realise the three assumptions the Byzantine-resilient
+algorithm relies on (Section 3.2 of the paper):
+
+* :mod:`repro.crypto.shared_randomness` -- a common random string every
+  correct node can read, used for the committee lottery and to draw
+  hash functions.
+* :mod:`repro.crypto.hashing` -- the random fingerprint family of
+  Fact 3.2, realised as polynomial fingerprints over a prime field.
+* :mod:`repro.crypto.auth` -- message authentication: the network stamps
+  each envelope with its true sender, so identities cannot be spoofed.
+"""
+
+from repro.crypto.auth import AuthenticationError, Authenticator
+from repro.crypto.hashing import FingerprintFamily, Fingerprinter
+from repro.crypto.shared_randomness import SharedRandomness
+
+__all__ = [
+    "AuthenticationError",
+    "Authenticator",
+    "FingerprintFamily",
+    "Fingerprinter",
+    "SharedRandomness",
+]

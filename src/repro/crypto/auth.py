@@ -1,0 +1,56 @@
+"""Message authentication.
+
+The Byzantine algorithm assumes messages are authenticated, "so that
+nodes cannot spoof messages or identities" (Section 1).  The only
+property the proofs use is exactly that: a Byzantine node cannot make a
+message appear to originate from a link it does not control.
+
+The network realises the property structurally: it stamps every
+envelope with the true sender's link index.  :class:`Authenticator`
+packages the policy so the *unauthenticated* variant (useful for tests
+demonstrating why the assumption matters) is a configuration switch
+rather than a code fork.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class AuthenticationError(ValueError):
+    """Raised when a spoof attempt is detected under strict policy."""
+
+
+class Authenticator:
+    """Decides how a claimed sender identity is reconciled with reality.
+
+    With ``enabled=True`` (the paper's model) the claimed sender is
+    discarded: receivers see the true link index and nothing else.  With
+    ``enabled=False`` a forged claim is passed through to the receiver,
+    which lets tests exhibit the identity-duplication attacks the
+    assumption rules out.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+
+    def resolve(
+        self, true_uid: int, claimed_uid: Optional[int]
+    ) -> tuple[int, Optional[int]]:
+        """Return ``(perceived_uid, recorded_claim)``.
+
+        ``perceived_uid`` is what the receiver believes the sender's
+        original identity to be.  Under authentication a forged claim is
+        discarded; without it, the forgery succeeds and the receiver
+        perceives the claimed identity.
+
+        >>> Authenticator().resolve(3, 99)
+        (3, None)
+        >>> Authenticator(enabled=False).resolve(3, 99)
+        (99, 99)
+        >>> Authenticator(enabled=False).resolve(3, None)
+        (3, None)
+        """
+        if self.enabled or claimed_uid is None:
+            return true_uid, None
+        return claimed_uid, claimed_uid

@@ -1,0 +1,85 @@
+"""A committee randomness beacon (the Section 3.2 extension).
+
+The paper assumes shared randomness and notes the assumption "could be
+removed at the cost of a more complicated algorithm": elect a committee
+and let it *generate* shared randomness with known techniques
+([13, 35]).  This module implements the simplest such technique --
+commit-reveal XOR with a validator round -- as an abortable **weak
+common coin**:
+
+1. every committee member draws a private contribution and broadcasts
+   a binding commitment (a fingerprint of contribution + nonce);
+2. members broadcast their openings; an opening is *valid* iff it
+   matches the sender's round-1 commitment;
+3. members run :func:`~repro.consensus.validator.validator` on the
+   XOR of the valid contributions they saw.  ``same = 1`` certifies a
+   common value; ``same = 0`` aborts.
+
+Guarantees (tested in ``tests/test_beacon.py``):
+
+* with only correct members, the coin always succeeds, all members
+  output the same value, and no member could predict it before the
+  reveal round (every contribution is XORed in);
+* commitments bind: a member cannot choose its opening after seeing
+  others' openings;
+* a Byzantine member *can* force an abort (or bias the output by
+  conditionally withholding its opening) -- the inherent weakness of
+  commit-reveal coins that the cited threshold-crypto constructions
+  [13, 35] exist to remove.  Callers must treat ``ok = False`` as
+  "retry or fall back", never as a value.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from random import Random
+
+from repro.consensus.comm import CommitteeComm, exchange
+from repro.consensus.validator import validator
+
+#: Bit width of one coin output.
+COIN_BITS = 64
+
+
+def commitment_of(contribution: int, nonce: int) -> int:
+    """The binding commitment to ``(contribution, nonce)``."""
+    digest = hashlib.sha256(f"{contribution}:{nonce}".encode()).digest()
+    return int.from_bytes(digest[:16], "big")
+
+
+def weak_common_coin(comm: CommitteeComm, rng: Random, label: str,
+                     coin_bits: int = COIN_BITS):
+    """Generator sub-program; returns ``(ok, value)``.
+
+    ``rng`` is the member's *private* randomness; ``label`` must be the
+    same at all correct members (it tags the exchanges).  4 rounds:
+    commit, reveal, then the 2-round validator.
+    """
+    contribution = rng.getrandbits(coin_bits)
+    nonce = rng.getrandbits(64)
+
+    commitments = yield from exchange(
+        comm, f"coin-commit:{label}", commitment_of(contribution, nonce),
+        width=128,
+    )
+    openings = yield from exchange(
+        comm, f"coin-reveal:{label}", (contribution, nonce),
+        width=coin_bits + 64,
+    )
+
+    pooled = 0
+    for sender, opening in sorted(openings.items()):
+        if (
+            isinstance(opening, tuple)
+            and len(opening) == 2
+            and all(isinstance(part, int) for part in opening)
+            and sender in commitments
+            and commitment_of(*opening) == commitments[sender]
+        ):
+            pooled ^= opening[0]
+
+    same, agreed = yield from validator(comm, pooled, width=coin_bits)
+    if same == 1 and isinstance(agreed, int):
+        return True, agreed
+    return False, None

@@ -1,0 +1,13 @@
+"""The Omega(n) message lower bound of Theorem 1.4, as an experiment."""
+
+from repro.lowerbound.anonymous import (
+    SilentRenamingExperiment,
+    exact_success_probability,
+    minimum_messages_for_success,
+)
+
+__all__ = [
+    "SilentRenamingExperiment",
+    "exact_success_probability",
+    "minimum_messages_for_success",
+]

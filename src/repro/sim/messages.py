@@ -1,0 +1,155 @@
+"""Message model and bit-cost accounting.
+
+The paper's complexity claims are stated in a model where every message
+carries at most ``Theta(log N)`` bits: identities cost ``ceil(log2 N)``
+bits, interval endpoints and counters over ``[n]`` cost ``ceil(log2 n)``
+bits, and every message carries a small constant-size type header.  The
+:class:`CostModel` encodes those word sizes so each message can report
+its exact bit footprint, which makes the paper's bit-complexity claims
+directly measurable.
+
+Messages are small frozen dataclasses.  Concrete protocols subclass
+:class:`Message` and implement :meth:`Message.payload_bits`.  The network
+wraps each message in an :class:`Envelope` carrying the (authenticated)
+sender link and delivery round.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: Number of bits charged for the message-type tag of every message.
+HEADER_BITS = 4
+
+
+def bit_length_of_domain(size: int) -> int:
+    """Number of bits needed to address a domain of ``size`` values.
+
+    >>> bit_length_of_domain(1)
+    1
+    >>> bit_length_of_domain(1024)
+    10
+    """
+    if size < 1:
+        raise ValueError(f"domain size must be positive, got {size}")
+    return max(1, math.ceil(math.log2(size))) if size > 1 else 1
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Word sizes used to charge message bits.
+
+    Parameters
+    ----------
+    n:
+        Number of participating nodes (target namespace size).
+    namespace:
+        Size ``N`` of the original namespace, ``N >= n``.
+    """
+
+    n: int
+    namespace: int
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError(f"n must be positive, got {self.n}")
+        if self.namespace < self.n:
+            raise ValueError(
+                f"namespace N={self.namespace} must be at least n={self.n}"
+            )
+
+    @property
+    def id_bits(self) -> int:
+        """Bits for one original identity from ``[N]``."""
+        return bit_length_of_domain(self.namespace)
+
+    @property
+    def index_bits(self) -> int:
+        """Bits for one value from ``[n]`` (new identities, endpoints)."""
+        return bit_length_of_domain(self.n)
+
+    @property
+    def depth_bits(self) -> int:
+        """Bits for an interval-tree depth in ``[0, ceil(log2 n)]``."""
+        return bit_length_of_domain(bit_length_of_domain(self.n) + 1)
+
+    @property
+    def counter_bits(self) -> int:
+        """Bits for a small counter bounded by ``n`` (e.g. ``p`` values)."""
+        return bit_length_of_domain(self.n)
+
+    @property
+    def digest_bits(self) -> int:
+        """Bits for one fingerprint digest, ``O(log N)`` per Fact 3.2."""
+        # Digests live in a field of size O(N^6) so that, union-bounded over
+        # the whole execution, collisions are n^{-Theta(1)}-unlikely; that is
+        # 6 * ceil(log2 N) bits, still O(log N).
+        return 6 * bit_length_of_domain(self.namespace)
+
+
+class Message:
+    """Base class for protocol messages.
+
+    Subclasses are expected to be frozen dataclasses.  ``payload_bits``
+    charges the message's fields under a :class:`CostModel`; the envelope
+    adds :data:`HEADER_BITS` for the type tag.
+    """
+
+    def payload_bits(self, cost: CostModel) -> int:
+        raise NotImplementedError
+
+    def bit_size(self, cost: CostModel) -> int:
+        """Total on-wire size of this message in bits."""
+        return HEADER_BITS + self.payload_bits(cost)
+
+
+@dataclass(frozen=True)
+class Send:
+    """An outgoing message addressed to a link (node index in ``[0, n)``).
+
+    ``claim`` is a forged sender identity.  It only reaches the receiver
+    when the network runs *without* authentication; under the paper's
+    authenticated model the network discards it (see
+    :class:`repro.crypto.auth.Authenticator`).
+    """
+
+    to: int
+    message: Message
+    claim: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.to < 0:
+            raise ValueError(f"link index must be non-negative, got {self.to}")
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """A delivered message.
+
+    ``sender`` is the link index of the true sender, stamped by the
+    network.  ``sender_uid`` is the sender's original identity as the
+    receiver perceives it: with authentication enabled (the paper's
+    model) it is always the true identity; without authentication a
+    forged ``claim`` shows up here instead, which is exactly the spoof
+    the assumption rules out.  ``claimed_sender`` records the raw claim
+    in the unauthenticated case (``None`` otherwise).
+    """
+
+    sender: int
+    to: int
+    round_no: int
+    message: Message
+    sender_uid: Optional[int] = field(default=None)
+    claimed_sender: Optional[int] = field(default=None)
+
+
+def broadcast(n: int, message: Message) -> list[Send]:
+    """Address ``message`` to all ``n`` links (including the self link)."""
+    return [Send(to=index, message=message) for index in range(n)]
+
+
+def multicast(targets, message: Message) -> list[Send]:
+    """Address ``message`` to each link index in ``targets``."""
+    return [Send(to=index, message=message) for index in targets]

@@ -1,0 +1,243 @@
+"""The synchronous round-based network engine.
+
+Model (Section 1 of the paper): a fully connected network of ``n``
+nodes.  All nodes are activated simultaneously and exchange messages in
+synchronous rounds; each node owns ``n`` links, one to every node
+(including itself).  Messages sent in round ``r`` are delivered at the
+end of round ``r``.
+
+The engine drives each :class:`~repro.sim.node.Process` as a generator:
+it collects the sends every alive process yielded, lets the crash
+adversary pick victims and decide which of their in-flight messages are
+still delivered (the mid-send crash), stamps envelopes with the true
+sender (authentication), charges the metrics ledgers, and feeds every
+surviving process its inbox.
+"""
+
+from __future__ import annotations
+
+from random import Random
+from typing import Optional, Sequence
+
+from repro.adversary.base import CrashAdversary, CrashPlanError, NoCrashes
+from repro.crypto.auth import Authenticator
+from repro.crypto.shared_randomness import SharedRandomness
+from repro.sim.messages import CostModel, Envelope, Send
+from repro.sim.metrics import Metrics
+from repro.sim.node import Context, Process, Program
+from repro.sim.trace import Trace
+
+#: Hard cap on rounds; hitting it means a protocol failed to terminate.
+DEFAULT_MAX_ROUNDS = 1_000_000
+
+
+class NonTerminationError(RuntimeError):
+    """A protocol exceeded the round cap without all correct nodes done."""
+
+
+class SyncNetwork:
+    """One execution of a protocol over a synchronous complete network.
+
+    Parameters
+    ----------
+    processes:
+        One :class:`Process` per link index; position ``i`` owns link
+        ``i``.  Processes whose ``byzantine`` flag is set are charged to
+        the adversary ledger and excluded from termination checks.
+    cost:
+        The :class:`CostModel` used for bit accounting.
+    crash_adversary:
+        The crash adversary consulted every round (default: none).
+    shared:
+        Optional shared-randomness handle made available to every node.
+    seed:
+        Seeds the per-node private RNG streams.
+    """
+
+    def __init__(
+        self,
+        processes: Sequence[Process],
+        cost: CostModel,
+        *,
+        crash_adversary: Optional[CrashAdversary] = None,
+        authenticator: Optional[Authenticator] = None,
+        shared: Optional[SharedRandomness] = None,
+        seed: int = 0,
+        trace: bool = False,
+        max_rounds: int = DEFAULT_MAX_ROUNDS,
+    ):
+        if not processes:
+            raise ValueError("need at least one process")
+        self.processes = list(processes)
+        self.n = len(self.processes)
+        self.cost = cost
+        self.adversary = crash_adversary or NoCrashes()
+        self.authenticator = authenticator or Authenticator()
+        self.shared = shared
+        self.max_rounds = max_rounds
+        self.metrics = Metrics(cost=cost)
+        self.trace = Trace(enabled=trace)
+        self.round_no = 0
+        self.crashed: set[int] = set()
+        self.finished: dict[int, object] = {}
+        self._seed_root = Random(seed)
+        self.contexts = [
+            Context(
+                n=self.n,
+                namespace=cost.namespace,
+                index=index,
+                rng=Random(self._seed_root.getrandbits(64)),
+                cost=cost,
+                shared=shared,
+            )
+            for index in range(self.n)
+        ]
+        self._programs: dict[int, Program] = {}
+        self._pending: dict[int, list[Send]] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+
+    def _start(self) -> None:
+        for index, process in enumerate(self.processes):
+            program = process.program(self.contexts[index])
+            try:
+                first_sends = next(program)
+            except StopIteration as stop:
+                self._finish(index, stop.value)
+                continue
+            self._programs[index] = program
+            self._pending[index] = self._validated(index, first_sends)
+
+    def _finish(self, index: int, value: object) -> None:
+        self.finished[index] = value
+        self.processes[index].result = value
+        self.trace.record(self.round_no, "terminate", index, value)
+
+    def _validated(self, index: int, sends) -> list[Send]:
+        out = list(sends)
+        for send in out:
+            if not 0 <= send.to < self.n:
+                raise ValueError(
+                    f"node {index} addressed link {send.to} outside [0, {self.n})"
+                )
+        return out
+
+    # ------------------------------------------------------------------
+    # Round execution
+
+    def _alive_unfinished(self) -> list[int]:
+        return [
+            index
+            for index in range(self.n)
+            if index not in self.crashed and index not in self.finished
+        ]
+
+    def _correct_pending(self) -> list[int]:
+        return [
+            index
+            for index in self._alive_unfinished()
+            if not self.processes[index].byzantine
+        ]
+
+    def _apply_crash_plan(self, proposed: dict[int, list[Send]]) -> dict[int, list[Send]]:
+        """Validate the adversary's plan and return the delivered sends."""
+        alive = frozenset(self._alive_unfinished())
+        plan = self.adversary.plan_round(self.round_no, proposed, alive, self.trace)
+        victims = set(plan)
+        if not victims:
+            return proposed
+        if not victims <= alive:
+            raise CrashPlanError(f"plan names non-alive victims: {victims - alive}")
+        already = victims & self.crashed
+        if already:
+            raise CrashPlanError(f"victims already crashed: {already}")
+        if len(self.adversary.crashed) + len(victims) > self.adversary.budget:
+            raise CrashPlanError(
+                f"budget {self.adversary.budget} exceeded by crashing {victims}"
+            )
+        delivered = dict(proposed)
+        for victim, kept in plan.items():
+            kept = list(kept)
+            full = proposed.get(victim, [])
+            remaining = list(full)
+            for send in kept:
+                if send in remaining:
+                    remaining.remove(send)
+                else:
+                    raise CrashPlanError(
+                        f"victim {victim}: kept message {send} was never proposed"
+                    )
+            delivered[victim] = kept
+            self.crashed.add(victim)
+            self.trace.record(self.round_no, "crash", victim,
+                              {"delivered": len(kept), "proposed": len(full)})
+        self.adversary.note_crashes(victims)
+        return delivered
+
+    def step(self) -> None:
+        """Execute one synchronous round."""
+        self.round_no += 1
+        self.metrics.begin_round()
+        for ctx in self.contexts:
+            ctx.current_round = self.round_no
+
+        proposed = {
+            index: self._pending.get(index, [])
+            for index in self._alive_unfinished()
+        }
+        delivered = self._apply_crash_plan(proposed)
+
+        inboxes: dict[int, list[Envelope]] = {i: [] for i in range(self.n)}
+        for sender, sends in delivered.items():
+            byz = self.processes[sender].byzantine
+            sender_true_uid = self.processes[sender].uid
+            for send in sends:
+                self.metrics.record_send(sender, send.message, byzantine=byz)
+                perceived_uid, claim = self.authenticator.resolve(
+                    sender_true_uid, send.claim
+                )
+                inboxes[send.to].append(
+                    Envelope(
+                        sender=sender,
+                        to=send.to,
+                        round_no=self.round_no,
+                        message=send.message,
+                        sender_uid=perceived_uid,
+                        claimed_sender=claim,
+                    )
+                )
+
+        for index in self._alive_unfinished():
+            program = self._programs.get(index)
+            if program is None:
+                continue
+            try:
+                next_sends = program.send(inboxes[index])
+                self._pending[index] = self._validated(index, next_sends)
+            except StopIteration as stop:
+                self._finish(index, stop.value)
+                self._pending.pop(index, None)
+            except Exception:
+                if not self.processes[index].byzantine:
+                    raise
+                # A Byzantine strategy crashed its own program (e.g. its
+                # desynchronised view made honest-code reuse blow up).
+                # That is the adversary's problem, not the network's:
+                # the node simply falls silent.
+                self.trace.record(self.round_no, "byzantine-fault", index)
+                self._finish(index, None)
+                self._pending.pop(index, None)
+
+    def run(self) -> None:
+        """Run rounds until every correct, non-crashed node terminates."""
+        self._start()
+        while self._correct_pending():
+            if self.round_no >= self.max_rounds:
+                raise NonTerminationError(
+                    f"protocol still running after {self.max_rounds} rounds; "
+                    f"pending correct nodes: {self._correct_pending()[:10]}"
+                )
+            self.step()
+        for index in sorted(set(self._programs) - set(self.finished)):
+            self._programs[index].close()

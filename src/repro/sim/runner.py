@@ -1,0 +1,81 @@
+"""Convenience entry point and execution results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.adversary.base import CrashAdversary
+from repro.crypto.auth import Authenticator
+from repro.crypto.shared_randomness import SharedRandomness
+from repro.sim.messages import CostModel
+from repro.sim.metrics import Metrics
+from repro.sim.network import DEFAULT_MAX_ROUNDS, SyncNetwork
+from repro.sim.node import Process
+from repro.sim.trace import Trace
+
+
+@dataclass
+class ExecutionResult:
+    """Everything observable after one protocol execution."""
+
+    results: dict[int, object]
+    metrics: Metrics
+    crashed: set[int]
+    byzantine: set[int]
+    rounds: int
+    trace: Trace
+    processes: Sequence[Process] = field(repr=False, default=())
+
+    @property
+    def correct_results(self) -> dict[int, object]:
+        """Outputs of nodes that are neither crashed nor Byzantine."""
+        return {
+            index: value
+            for index, value in self.results.items()
+            if index not in self.crashed and index not in self.byzantine
+        }
+
+    def outputs_by_uid(self) -> dict[int, object]:
+        """Map each surviving correct node's original identity to its output."""
+        return {
+            self.processes[index].uid: value
+            for index, value in self.correct_results.items()
+        }
+
+
+def run_network(
+    processes: Sequence[Process],
+    cost: CostModel,
+    *,
+    crash_adversary: Optional[CrashAdversary] = None,
+    authenticator: Optional[Authenticator] = None,
+    shared: Optional[SharedRandomness] = None,
+    seed: int = 0,
+    trace: bool = False,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+) -> ExecutionResult:
+    """Build a :class:`SyncNetwork`, run it to completion, package results."""
+    network = SyncNetwork(
+        processes,
+        cost,
+        crash_adversary=crash_adversary,
+        authenticator=authenticator,
+        shared=shared,
+        seed=seed,
+        trace=trace,
+        max_rounds=max_rounds,
+    )
+    network.run()
+    byzantine = {
+        index for index, process in enumerate(processes) if process.byzantine
+    }
+    return ExecutionResult(
+        results=dict(network.finished),
+        metrics=network.metrics,
+        crashed=set(network.crashed),
+        byzantine=byzantine,
+        rounds=network.round_no,
+        trace=network.trace,
+        processes=list(processes),
+    )

@@ -1,0 +1,49 @@
+"""Structured execution traces.
+
+Traces serve two purposes: they make failure-injection tests assert on
+*what actually happened* (who crashed when, which messages a committee
+member sent), and they are the observation channel for adaptive
+adversaries, which per the paper may use "execution history up to any
+specific time point".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    round_no: int
+    kind: str
+    node: Optional[int] = None
+    data: object = None
+
+
+class Trace:
+    """An append-only event log with small query helpers."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.events: list[TraceEvent] = []
+
+    def record(self, round_no: int, kind: str, node: Optional[int] = None,
+               data: object = None) -> None:
+        if self.enabled:
+            self.events.append(TraceEvent(round_no, kind, node, data))
+
+    def of_kind(self, kind: str) -> Iterator[TraceEvent]:
+        return (event for event in self.events if event.kind == kind)
+
+    def in_round(self, round_no: int) -> Iterator[TraceEvent]:
+        return (event for event in self.events if event.round_no == round_no)
+
+    def crashes(self) -> list[TraceEvent]:
+        return list(self.of_kind("crash"))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)

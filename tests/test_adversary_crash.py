@@ -1,0 +1,162 @@
+"""Tests for crash-adversary strategies."""
+
+from random import Random
+
+import pytest
+
+from repro.adversary.base import NoCrashes
+from repro.adversary.crash import (
+    BudgetedAdaptiveCrash,
+    CommitteeHunter,
+    MidSendPartitioner,
+    RandomCrash,
+    ScheduledCrash,
+)
+from repro.sim.messages import Send
+from repro.sim.trace import Trace
+from tests.test_network import Ping
+
+
+def proposed_for(fanouts):
+    """Fake per-node proposed sends with the given fanouts."""
+    return {
+        node: [Send(to=t, message=Ping(t)) for t in range(fanout)]
+        for node, fanout in fanouts.items()
+    }
+
+
+TRACE = Trace(enabled=False)
+
+
+class TestNoCrashes:
+    def test_never_crashes(self):
+        adversary = NoCrashes()
+        plan = adversary.plan_round(1, proposed_for({0: 3}), frozenset({0}), TRACE)
+        assert plan == {}
+        assert adversary.budget == 0
+
+
+class TestRandomCrash:
+    def test_budget_respected(self):
+        adversary = RandomCrash(budget=2, rate=1.0, rng=Random(1))
+        plan = adversary.plan_round(
+            1, proposed_for({i: 2 for i in range(10)}),
+            frozenset(range(10)), TRACE,
+        )
+        assert len(plan) == 2
+
+    def test_rate_zero_never_crashes(self):
+        adversary = RandomCrash(budget=5, rate=0.0, rng=Random(1))
+        plan = adversary.plan_round(
+            1, proposed_for({i: 2 for i in range(10)}),
+            frozenset(range(10)), TRACE,
+        )
+        assert plan == {}
+
+    def test_kept_messages_are_subset(self):
+        adversary = RandomCrash(budget=5, rate=1.0, rng=Random(3))
+        proposed = proposed_for({0: 10})
+        plan = adversary.plan_round(1, proposed, frozenset({0}), TRACE)
+        assert all(send in proposed[0] for send in plan[0])
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            RandomCrash(budget=1, rate=1.5, rng=Random(0))
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            RandomCrash(budget=-1, rate=0.5, rng=Random(0))
+
+
+class TestScheduledCrash:
+    def test_budget_inferred_from_schedule(self):
+        adversary = ScheduledCrash({1: [0, 2], 3: [5]})
+        assert adversary.budget == 3
+
+    def test_fires_only_in_scheduled_round(self):
+        adversary = ScheduledCrash({2: [0]})
+        assert adversary.plan_round(1, proposed_for({0: 1}), frozenset({0}), TRACE) == {}
+        plan = adversary.plan_round(2, proposed_for({0: 1}), frozenset({0}), TRACE)
+        assert set(plan) == {0}
+
+    def test_skips_already_dead_victims(self):
+        adversary = ScheduledCrash({2: [0]})
+        plan = adversary.plan_round(2, proposed_for({1: 1}), frozenset({1}), TRACE)
+        assert plan == {}
+
+    def test_duplicate_victims_rejected(self):
+        with pytest.raises(ValueError):
+            ScheduledCrash({1: [0], 2: [0]})
+
+    def test_deliver_prefix(self):
+        adversary = ScheduledCrash({1: [0]}, deliver_prefix={0: 2})
+        proposed = proposed_for({0: 5})
+        plan = adversary.plan_round(1, proposed, frozenset({0}), TRACE)
+        assert plan[0] == proposed[0][:2]
+
+
+class TestMidSendPartitioner:
+    def test_targets_highest_fanout(self):
+        adversary = MidSendPartitioner(budget=1, rng=Random(1), per_round=1)
+        plan = adversary.plan_round(
+            1, proposed_for({0: 2, 1: 10, 2: 3}), frozenset({0, 1, 2}), TRACE
+        )
+        assert set(plan) == {1}
+
+    def test_delivers_half(self):
+        adversary = MidSendPartitioner(budget=1, rng=Random(1))
+        plan = adversary.plan_round(
+            1, proposed_for({0: 10}), frozenset({0}), TRACE
+        )
+        assert len(plan[0]) == 5
+
+    def test_ignores_low_fanout(self):
+        adversary = MidSendPartitioner(budget=1, rng=Random(1), min_fanout=5)
+        plan = adversary.plan_round(
+            1, proposed_for({0: 2}), frozenset({0}), TRACE
+        )
+        assert plan == {}
+
+
+class TestCommitteeHunter:
+    def test_kills_broadcasters_only(self):
+        adversary = CommitteeHunter(budget=5, rng=Random(1))
+        plan = adversary.plan_round(
+            1, proposed_for({0: 10, 1: 1, 2: 10, 3: 0}),
+            frozenset({0, 1, 2, 3}), TRACE,
+        )
+        assert set(plan) == {0, 2}
+        assert plan[0] == [] and plan[2] == []
+
+    def test_budget_limits_kills(self):
+        adversary = CommitteeHunter(budget=1, rng=Random(1))
+        plan = adversary.plan_round(
+            1, proposed_for({0: 10, 1: 10}), frozenset({0, 1}), TRACE
+        )
+        assert len(plan) == 1
+
+    def test_deliver_fraction_leaks_traffic(self):
+        adversary = CommitteeHunter(budget=1, rng=Random(1), deliver_fraction=0.5)
+        plan = adversary.plan_round(
+            1, proposed_for({0: 10}), frozenset({0}), TRACE
+        )
+        assert len(plan[0]) == 5
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            CommitteeHunter(budget=1, rng=Random(1), deliver_fraction=2.0)
+
+
+class TestBudgetedAdaptiveCrash:
+    def test_policy_sees_remaining_budget(self):
+        seen = []
+
+        def policy(round_no, proposed, alive, trace, remaining):
+            seen.append(remaining)
+            return {}
+
+        adversary = BudgetedAdaptiveCrash(3, policy)
+        adversary.plan_round(1, {}, frozenset(), TRACE)
+        adversary.note_crashes({0, 1})
+        adversary.plan_round(2, {}, frozenset(), TRACE)
+        assert seen == [3, 1]

@@ -1,0 +1,117 @@
+"""Tests for the approximate-agreement substrate."""
+
+from random import Random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.adversary.crash import MidSendPartitioner, RandomCrash, ScheduledCrash
+from repro.consensus.approx_agreement import (
+    ApproxAgreementNode,
+    rounds_needed,
+    run_approximate_agreement,
+)
+
+
+def spread_of(result):
+    values = list(result.outputs_by_uid().values())
+    return max(values) - min(values)
+
+
+class TestRoundsNeeded:
+    def test_already_converged(self):
+        assert rounds_needed(0.5, 1.0) == 0
+
+    def test_halving_count(self):
+        assert rounds_needed(8.0, 1.0) == 3
+        assert rounds_needed(10.0, 1.0) == 4
+
+    def test_epsilon_validated(self):
+        with pytest.raises(ValueError):
+            rounds_needed(1.0, 0.0)
+
+    def test_negative_rounds_rejected(self):
+        with pytest.raises(ValueError):
+            ApproxAgreementNode(uid=1, initial=0.0, rounds=-1)
+
+
+class TestFailureFree:
+    def test_converges_to_epsilon(self):
+        inputs = [(i + 1, float(i * 10)) for i in range(8)]
+        result = run_approximate_agreement(inputs, epsilon=0.5)
+        assert spread_of(result) <= 0.5
+
+    def test_validity_outputs_inside_input_range(self):
+        inputs = [(1, 3.0), (2, 7.0), (3, 5.0)]
+        result = run_approximate_agreement(inputs, epsilon=0.1)
+        for value in result.outputs_by_uid().values():
+            assert 3.0 <= value <= 7.0
+
+    def test_equal_inputs_need_zero_rounds(self):
+        inputs = [(1, 4.0), (2, 4.0)]
+        result = run_approximate_agreement(inputs, epsilon=0.1)
+        assert result.rounds == 0
+        assert spread_of(result) == 0
+
+    def test_single_node(self):
+        result = run_approximate_agreement([(5, 9.0)], epsilon=0.1)
+        assert result.outputs_by_uid() == {5: 9.0}
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            run_approximate_agreement([], epsilon=0.1)
+        with pytest.raises(ValueError, match="distinct"):
+            run_approximate_agreement([(1, 0.0), (1, 1.0)], epsilon=0.1)
+
+
+class TestUnderCrashes:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_epsilon_agreement_with_random_crashes(self, seed):
+        n = 24
+        inputs = [(i + 1, float(i)) for i in range(n)]
+        result = run_approximate_agreement(
+            inputs, epsilon=0.25,
+            adversary=RandomCrash(n // 3, 0.1, Random(seed)), seed=seed,
+        )
+        assert spread_of(result) <= 0.25
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_mid_send_crashes_cannot_break_validity(self, seed):
+        n = 16
+        inputs = [(i + 1, float(i % 5)) for i in range(n)]
+        result = run_approximate_agreement(
+            inputs, epsilon=0.25,
+            adversary=MidSendPartitioner(n // 2, Random(seed), per_round=2),
+            seed=seed,
+        )
+        for value in result.outputs_by_uid().values():
+            assert 0.0 <= value <= 4.0
+        assert spread_of(result) <= 0.25
+
+    def test_extreme_holder_crash(self):
+        """The node holding the maximum crashes mid-broadcast so only
+        half the network averages it in -- the canonical divergence
+        attack; midpoint still converges."""
+        inputs = [(1, 100.0)] + [(i, 0.0) for i in range(2, 17)]
+        result = run_approximate_agreement(
+            inputs, epsilon=0.5,
+            adversary=ScheduledCrash({1: [0]}, deliver_prefix={0: 8}),
+            seed=3,
+        )
+        assert spread_of(result) <= 0.5
+
+
+class TestConvergenceRate:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        values=st.lists(st.floats(0, 100, allow_nan=False), min_size=3,
+                        max_size=12),
+        seed=st.integers(0, 10**6),
+    )
+    def test_epsilon_agreement_property(self, values, seed):
+        inputs = [(i + 1, value) for i, value in enumerate(values)]
+        result = run_approximate_agreement(inputs, epsilon=0.5, seed=seed)
+        assert spread_of(result) <= 0.5 + 1e-4
+        low, high = min(values), max(values)
+        for value in result.outputs_by_uid().values():
+            assert low - 1e-4 <= value <= high + 1e-4

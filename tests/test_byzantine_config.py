@@ -1,0 +1,109 @@
+"""Tests for the Byzantine algorithm's configuration and parameter
+derivation (committee lottery probability, b_max / c_g bounds)."""
+
+import pytest
+
+from repro.core.byzantine_renaming import (
+    ByzantineRenamingConfig,
+    run_byzantine_renaming,
+)
+
+
+class TestDefaults:
+    def test_default_bound_matches_paper(self):
+        config = ByzantineRenamingConfig(epsilon0=0.05)
+        # floor((1/3 - 0.05) * 90) = floor(25.5) = 25
+        assert config.default_max_byzantine(90) == 25
+
+    def test_epsilon_must_be_in_open_interval(self):
+        with pytest.raises(ValueError):
+            ByzantineRenamingConfig(epsilon0=0.0)
+        with pytest.raises(ValueError):
+            ByzantineRenamingConfig(epsilon0=0.4)
+
+    def test_paper_formula_saturates_at_small_n(self):
+        # p0 = 8 log n / ((1-3e) e^2 n) >> 1 for practical n, so the
+        # default configuration is the full committee.
+        params = ByzantineRenamingConfig().parameters(64)
+        assert params.full_committee
+        assert params.candidate_probability == 1.0
+
+    def test_full_committee_bounds_are_exact(self):
+        config = ByzantineRenamingConfig(max_byzantine=5)
+        params = config.parameters(16)
+        assert params.b_max == 5
+        assert params.cg_lower == 11
+        assert params.diff_threshold == 6
+
+
+class TestSampledCommittee:
+    def test_sampled_bounds_feasible_at_scale(self):
+        config = ByzantineRenamingConfig(
+            max_byzantine=4, candidate_probability=0.22,
+        )
+        params = config.parameters(128)
+        assert not params.full_committee
+        assert 2 * params.b_max < params.cg_lower
+        assert params.diff_threshold > params.b_max
+
+    def test_infeasible_sampling_falls_back_to_full_committee(self):
+        # Tiny probability cannot separate the bounds; the fallback
+        # must still be valid.
+        config = ByzantineRenamingConfig(
+            max_byzantine=5, candidate_probability=0.01,
+        )
+        params = config.parameters(30)
+        assert params.full_committee
+        assert params.candidate_probability == 1.0
+
+    def test_invalid_probability_rejected(self):
+        config = ByzantineRenamingConfig(candidate_probability=0.0)
+        with pytest.raises(ValueError):
+            config.parameters(16)
+
+    def test_bound_above_third_rejected(self):
+        config = ByzantineRenamingConfig(max_byzantine=6)
+        with pytest.raises(ValueError, match="n/3"):
+            config.parameters(16)
+
+
+class TestRunnerValidation:
+    def test_duplicate_uids_rejected(self):
+        with pytest.raises(ValueError, match="distinct"):
+            run_byzantine_renaming([1, 1, 2])
+
+    def test_unknown_byzantine_uid_rejected(self):
+        from repro.adversary.byzantine import silent
+
+        with pytest.raises(ValueError, match="not in the system"):
+            run_byzantine_renaming([1, 2, 3, 4], byzantine={99: silent})
+
+    def test_too_many_byzantine_rejected(self):
+        from repro.adversary.byzantine import silent
+
+        config = ByzantineRenamingConfig(max_byzantine=1)
+        with pytest.raises(ValueError, match="exceed"):
+            run_byzantine_renaming(
+                [1, 2, 3, 4, 5, 6],
+                byzantine={1: silent, 2: silent},
+                config=config,
+            )
+
+    def test_uid_outside_namespace_rejected(self):
+        with pytest.raises(ValueError, match="identities must lie"):
+            run_byzantine_renaming([1, 300], namespace=100)
+
+    def test_shared_randomness_is_required(self):
+        from repro.core.byzantine_renaming import (
+            ByzantineRenamingError,
+            ByzantineRenamingNode,
+        )
+        from repro.sim.messages import CostModel
+        from repro.sim.runner import run_network
+
+        with pytest.raises(ByzantineRenamingError, match="shared randomness"):
+            run_network(
+                [ByzantineRenamingNode(uid=1)],
+                CostModel(n=1, namespace=10),
+                shared=None,
+            )

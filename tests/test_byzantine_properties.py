@@ -1,0 +1,84 @@
+"""Property tests: Byzantine renaming invariants over random adversaries.
+
+Hypothesis draws the static corrupt set, the mix of attack strategies,
+and the randomness seeds; the invariants checked are Theorem 1.3's
+guarantees for the correct nodes -- distinct, in-range, order-preserving
+names -- which must hold for *every* admissible adversary.
+"""
+
+from random import Random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.adversary import byzantine as byz
+from repro.core.byzantine_renaming import (
+    ByzantineRenamingConfig,
+    run_byzantine_renaming,
+)
+
+N = 10
+NAMESPACE = 512
+F_MAX = 3  # largest f < 10/3
+
+STRATEGIES = [
+    byz.silent,
+    byz.crash_simulator,
+    byz.make_withholder(0.5),
+    byz.make_withholder(0.25),
+    byz.make_equivocator(),
+]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    uid_seed=st.integers(0, 10**6),
+    corrupt_seed=st.integers(0, 10**6),
+    strategy_picks=st.lists(
+        st.integers(0, len(STRATEGIES) - 1), min_size=F_MAX, max_size=F_MAX
+    ),
+    f=st.integers(0, F_MAX),
+    shared_seed=st.integers(0, 10**6),
+)
+def test_correct_nodes_always_get_valid_names(
+    uid_seed, corrupt_seed, strategy_picks, f, shared_seed
+):
+    uids = sorted(Random(uid_seed).sample(range(1, NAMESPACE + 1), N))
+    # Carlo commits to the corrupt set before shared randomness exists:
+    # corrupt_seed is drawn independently of shared_seed.
+    corrupt = byz.corrupt_set(uids, f, Random(corrupt_seed))
+    corrupted = {
+        uid: STRATEGIES[strategy_picks[i]]
+        for i, uid in enumerate(corrupt)
+    }
+    result = run_byzantine_renaming(
+        uids,
+        namespace=NAMESPACE,
+        byzantine=corrupted,
+        config=ByzantineRenamingConfig(
+            max_byzantine=F_MAX, consensus_iterations=10
+        ),
+        shared_seed=shared_seed,
+        seed=shared_seed + 1,
+    )
+    outputs = result.outputs_by_uid()
+    correct = [uid for uid in uids if uid not in corrupted]
+    assert set(outputs) == set(correct)
+    values = [outputs[uid] for uid in sorted(correct)]
+    # Uniqueness, strongness, order preservation.
+    assert len(set(values)) == len(values)
+    assert all(1 <= value <= N for value in values)
+    assert values == sorted(values)
+
+
+@settings(max_examples=15, deadline=None)
+@given(shared_seed=st.integers(0, 10**6))
+def test_honest_runs_are_one_iteration(shared_seed):
+    uids = sorted(Random(shared_seed).sample(range(1, NAMESPACE + 1), N))
+    result = run_byzantine_renaming(
+        uids, namespace=NAMESPACE,
+        config=ByzantineRenamingConfig(max_byzantine=F_MAX),
+        shared_seed=shared_seed, seed=shared_seed + 1,
+    )
+    committee = [p for p in result.processes if p.was_committee]
+    assert committee
+    assert all(p.segments_processed == 1 for p in committee)

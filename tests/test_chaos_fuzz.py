@@ -1,0 +1,95 @@
+"""Robustness fuzzing: honest nodes must shrug off arbitrary garbage.
+
+The chaos-monkey strategy floods the network with well-formed messages
+of every protocol type at random steps, kinds, and values.  None of it
+is strategically coherent, but all of it must be *filtered* -- by step
+counters, view membership, type dispatch, and accept thresholds.  A
+missing filter typically shows up as a crashed honest generator, a
+premature decision, or a broken invariant; all three are asserted here.
+"""
+
+from random import Random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.adversary import byzantine as byz
+from repro.core.byzantine_renaming import (
+    ByzantineRenamingConfig,
+    run_byzantine_renaming,
+)
+
+UIDS = [7, 19, 55, 102, 200, 333, 404, 512, 640, 777]
+NAMESPACE = 2048
+CONFIG = ByzantineRenamingConfig(max_byzantine=3)
+
+
+def assert_guarantees(result, corrupted):
+    outputs = result.outputs_by_uid()
+    correct = sorted(uid for uid in UIDS if uid not in corrupted)
+    assert set(outputs) == set(correct)
+    values = [outputs[uid] for uid in correct]
+    assert len(set(values)) == len(values)
+    assert all(1 <= value <= len(UIDS) for value in values)
+    assert values == sorted(values)
+
+
+class TestChaosMonkey:
+    def test_guarantees_hold_under_garbage_flood(self):
+        corrupted = {UIDS[2]: byz.make_chaos_monkey(salt=1),
+                     UIDS[8]: byz.make_chaos_monkey(salt=2)}
+        result = run_byzantine_renaming(
+            UIDS, namespace=NAMESPACE, byzantine=corrupted,
+            config=CONFIG, shared_seed=4, seed=5,
+        )
+        assert_guarantees(result, corrupted)
+        assert result.metrics.byzantine_messages > 0
+
+    def test_garbage_is_charged_to_the_adversary(self):
+        corrupted = {UIDS[0]: byz.make_chaos_monkey(volume=20)}
+        noisy = run_byzantine_renaming(
+            UIDS, namespace=NAMESPACE, byzantine=corrupted,
+            config=CONFIG, shared_seed=6, seed=7,
+        )
+        clean = run_byzantine_renaming(
+            UIDS, namespace=NAMESPACE, byzantine={UIDS[0]: byz.silent},
+            config=CONFIG, shared_seed=6, seed=7,
+        )
+        # The flood does not inflate the protocol's own ledger.
+        assert (noisy.metrics.correct_messages
+                <= clean.metrics.correct_messages * 1.05)
+
+    def test_garbage_does_not_slow_the_protocol(self):
+        corrupted = {UIDS[5]: byz.make_chaos_monkey(volume=10)}
+        noisy = run_byzantine_renaming(
+            UIDS, namespace=NAMESPACE, byzantine=corrupted,
+            config=CONFIG, shared_seed=8, seed=9,
+        )
+        clean = run_byzantine_renaming(
+            UIDS, namespace=NAMESPACE, byzantine={UIDS[5]: byz.silent},
+            config=CONFIG, shared_seed=8, seed=9,
+        )
+        assert noisy.rounds == clean.rounds
+
+    @settings(max_examples=10, deadline=None)
+    @given(shared_seed=st.integers(0, 10**6), salt=st.integers(0, 100))
+    def test_fuzz_across_lotteries(self, shared_seed, salt):
+        corrupted = {UIDS[4]: byz.make_chaos_monkey(salt=salt, volume=8)}
+        result = run_byzantine_renaming(
+            UIDS, namespace=NAMESPACE, byzantine=corrupted,
+            config=CONFIG, shared_seed=shared_seed, seed=shared_seed + 1,
+        )
+        assert_guarantees(result, corrupted)
+
+    def test_chaos_plus_strategic_adversaries(self):
+        """Garbage flooding combined with a real attack."""
+        corrupted = {
+            UIDS[1]: byz.make_chaos_monkey(salt=3, volume=12),
+            UIDS[6]: byz.make_withholder(0.5),
+            UIDS[9]: byz.make_equivocator(),
+        }
+        result = run_byzantine_renaming(
+            UIDS, namespace=NAMESPACE, byzantine=corrupted,
+            config=CONFIG, shared_seed=10, seed=11,
+        )
+        assert_guarantees(result, corrupted)

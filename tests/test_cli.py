@@ -1,0 +1,46 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_crash_defaults(self):
+        args = build_parser().parse_args(["crash"])
+        assert args.n == 64 and args.f == 0
+
+    def test_byzantine_strategy_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["byzantine", "--strategy", "nuke"])
+
+
+class TestCommands:
+    def test_crash_success_exit_code(self, capsys):
+        assert main(["crash", "--n", "12", "--f", "2", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "crash-renaming" in out
+        assert "yes" in out
+
+    def test_crash_without_faults(self, capsys):
+        assert main(["crash", "--n", "8"]) == 0
+
+    def test_byzantine_run(self, capsys):
+        code = main(["byzantine", "--n", "8", "--f", "1",
+                     "--strategy", "silent", "--seed", "2"])
+        assert code == 0
+        assert "byzantine-renaming" in capsys.readouterr().out
+
+    def test_table1(self, capsys):
+        assert main(["table1", "--n", "10", "--f", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "gossip" in out and "halving" in out
+
+    def test_lowerbound(self, capsys):
+        assert main(["lowerbound", "--n", "12", "--trials", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "11 messages" in out

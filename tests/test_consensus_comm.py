@@ -1,0 +1,85 @@
+"""Unit tests for the committee communication layer (vote filtering)."""
+
+from repro.consensus.comm import CommitteeComm, SubVote, exchange
+from repro.sim.messages import CostModel, Envelope
+
+
+def envelope(sender, message, round_no=1):
+    return Envelope(sender=sender, to=0, round_no=round_no, message=message)
+
+
+class TestCollect:
+    def make(self):
+        comm = CommitteeComm(view=[0, 1, 2], b_max=1)
+        comm.step = 5
+        return comm
+
+    def test_accepts_matching_votes(self):
+        comm = self.make()
+        inbox = [envelope(1, SubVote(5, "x", 7, 4))]
+        assert comm.collect(inbox, "x") == {1: 7}
+
+    def test_rejects_stale_step(self):
+        comm = self.make()
+        inbox = [envelope(1, SubVote(4, "x", 7, 4))]
+        assert comm.collect(inbox, "x") == {}
+
+    def test_rejects_wrong_kind(self):
+        comm = self.make()
+        inbox = [envelope(1, SubVote(5, "y", 7, 4))]
+        assert comm.collect(inbox, "x") == {}
+
+    def test_rejects_senders_outside_view(self):
+        comm = self.make()
+        inbox = [envelope(9, SubVote(5, "x", 7, 4))]
+        assert comm.collect(inbox, "x") == {}
+
+    def test_first_vote_per_sender_wins(self):
+        comm = self.make()
+        inbox = [
+            envelope(1, SubVote(5, "x", 7, 4)),
+            envelope(1, SubVote(5, "x", 8, 4)),
+        ]
+        assert comm.collect(inbox, "x") == {1: 7}
+
+    def test_ignores_non_subvote_messages(self):
+        from tests.test_network import Ping
+
+        comm = self.make()
+        inbox = [envelope(1, Ping())]
+        assert comm.collect(inbox, "x") == {}
+
+
+class TestSends:
+    def test_one_send_per_view_member(self):
+        comm = CommitteeComm(view=[3, 1, 1, 2], b_max=0)
+        comm.step = 1
+        sends = comm.sends("x", 9, width=4)
+        assert [send.to for send in sends] == [1, 2, 3]
+        assert all(send.message.value == 9 for send in sends)
+
+    def test_subvote_bit_cost(self):
+        cost = CostModel(n=8, namespace=64)
+        vote = SubVote(step=1, kind="x", value=1, width=10)
+        assert vote.payload_bits(cost) == 10 + 2 * cost.counter_bits
+
+
+class TestExchange:
+    def test_exchange_advances_step_and_round_trips(self):
+        comm = CommitteeComm(view=[0], b_max=0)
+
+        def program():
+            votes = yield from exchange(comm, "x", 42, width=8)
+            return votes
+
+        gen = program()
+        sends = next(gen)
+        assert comm.step == 1
+        assert len(sends) == 1 and sends[0].to == 0
+        inbox = [envelope(0, sends[0].message)]
+        try:
+            gen.send(inbox)
+        except StopIteration as stop:
+            assert stop.value == {0: 42}
+        else:  # pragma: no cover
+            raise AssertionError("exchange should finish after one round")

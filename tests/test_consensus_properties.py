@@ -1,0 +1,208 @@
+"""Property tests for graded broadcast, Validator, and Consensus.
+
+Each test checks the exact interface contract of Lemma 3.3 / 3.4 under
+equivocating and silent Byzantine members, as long as the model's
+precondition ``|B| <= b_max < |G| / 2`` holds.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.consensus.binary import binary_consensus
+from repro.consensus.comm import CommitteeComm, plurality
+from repro.consensus.graded import BOTTOM, graded_broadcast
+from repro.consensus.validator import validator
+from tests.support import honest_outputs, run_subprotocol
+
+# -- subprogram adapters -----------------------------------------------------
+
+
+def gb_program(comm, ctx, my_input):
+    grade, out = yield from graded_broadcast(comm, my_input, width=16)
+    return grade, out
+
+
+def validator_program(comm, ctx, my_input):
+    same, out = yield from validator(comm, my_input, width=16)
+    return same, out
+
+
+def consensus_program(comm, ctx, my_input):
+    out = yield from binary_consensus(
+        comm, my_input, ctx.shared, label="test", iterations=12
+    )
+    return out
+
+
+# -- strategies ----------------------------------------------------------------
+
+honest_counts = st.integers(4, 9)
+small_values = st.integers(0, 3)
+
+
+def byz_counts_for(n_honest):
+    return st.integers(0, (n_honest - 1) // 2)
+
+
+# -- plurality helper -----------------------------------------------------------
+
+
+class TestPlurality:
+    def test_majority_wins(self):
+        assert plurality([1, 1, 2]) == (1, 2)
+
+    def test_deterministic_tie_break(self):
+        assert plurality([2, 1]) == plurality([1, 2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            plurality([])
+
+
+class TestCommitteeComm:
+    def test_empty_view_rejected(self):
+        with pytest.raises(ValueError):
+            CommitteeComm([], b_max=0)
+
+    def test_negative_bound_rejected(self):
+        with pytest.raises(ValueError):
+            CommitteeComm([0], b_max=-1)
+
+
+# -- graded broadcast ------------------------------------------------------------
+
+
+class TestGradedBroadcast:
+    @settings(max_examples=20, deadline=None)
+    @given(n_honest=honest_counts, value=small_values, data=st.data(),
+           seed=st.integers(0, 10**6))
+    def test_unanimous_inputs_reach_grade_two(self, n_honest, value, data, seed):
+        n_byz = data.draw(byz_counts_for(n_honest))
+        result = run_subprotocol(
+            gb_program, [value] * n_honest, n_byz, seed=seed
+        )
+        for grade, out in honest_outputs(result):
+            assert grade == 2
+            assert out == value
+
+    @settings(max_examples=30, deadline=None)
+    @given(n_honest=honest_counts, data=st.data(), seed=st.integers(0, 10**6))
+    def test_graded_consistency(self, n_honest, data, seed):
+        inputs = data.draw(
+            st.lists(small_values, min_size=n_honest, max_size=n_honest)
+        )
+        n_byz = data.draw(byz_counts_for(n_honest))
+        result = run_subprotocol(gb_program, inputs, n_byz, seed=seed)
+        outputs = honest_outputs(result)
+        graded = [(g, o) for g, o in outputs if g >= 1]
+        # All grade >= 1 members agree on the value...
+        assert len({o for _, o in graded}) <= 1
+        # ...which is some honest member's input.
+        for _, out in graded:
+            assert out in inputs
+        # Grade 2 anywhere forces grade >= 1 everywhere.
+        if any(g == 2 for g, _ in outputs):
+            assert all(g >= 1 for g, _ in outputs)
+
+    @settings(max_examples=15, deadline=None)
+    @given(n_honest=honest_counts, value=small_values, seed=st.integers(0, 10**6))
+    def test_silent_byzantines_cannot_block(self, n_honest, value, seed):
+        n_byz = (n_honest - 1) // 2
+        result = run_subprotocol(
+            gb_program, [value] * n_honest, n_byz,
+            byzantine_silent=True, seed=seed,
+        )
+        for grade, out in honest_outputs(result):
+            assert (grade, out) == (2, value)
+
+    def test_exactly_two_rounds(self):
+        result = run_subprotocol(gb_program, [1, 1, 1, 1], 0)
+        assert result.rounds == 2
+
+
+# -- validator (Lemma 3.3) ----------------------------------------------------------
+
+
+class TestValidator:
+    @settings(max_examples=20, deadline=None)
+    @given(n_honest=honest_counts, value=small_values, data=st.data(),
+           seed=st.integers(0, 10**6))
+    def test_strong_validity_unanimous(self, n_honest, value, data, seed):
+        n_byz = data.draw(byz_counts_for(n_honest))
+        result = run_subprotocol(
+            validator_program, [value] * n_honest, n_byz, seed=seed
+        )
+        for same, out in honest_outputs(result):
+            assert same == 1
+            assert out == value
+
+    @settings(max_examples=30, deadline=None)
+    @given(n_honest=honest_counts, data=st.data(), seed=st.integers(0, 10**6))
+    def test_validity_and_weak_agreement(self, n_honest, data, seed):
+        inputs = data.draw(
+            st.lists(small_values, min_size=n_honest, max_size=n_honest)
+        )
+        n_byz = data.draw(byz_counts_for(n_honest))
+        result = run_subprotocol(validator_program, inputs, n_byz, seed=seed)
+        outputs = honest_outputs(result)
+        # Validity: every output is some correct member's input.
+        for _, out in outputs:
+            assert out in inputs
+        # Weak agreement: same=1 anywhere pins everyone's output.
+        flagged = [out for same, out in outputs if same == 1]
+        if flagged:
+            assert len({out for _, out in outputs}) == 1
+
+    def test_two_rounds_per_invocation(self):
+        result = run_subprotocol(validator_program, [3, 1, 4, 1], 0)
+        assert result.rounds == 2
+
+
+# -- binary consensus (Lemma 3.4) -------------------------------------------------------
+
+
+class TestBinaryConsensus:
+    @settings(max_examples=20, deadline=None)
+    @given(n_honest=honest_counts, bit=st.integers(0, 1), data=st.data(),
+           seed=st.integers(0, 10**6))
+    def test_validity(self, n_honest, bit, data, seed):
+        n_byz = data.draw(byz_counts_for(n_honest))
+        result = run_subprotocol(
+            consensus_program, [bit] * n_honest, n_byz,
+            seed=seed, shared_seed=seed + 7,
+        )
+        assert honest_outputs(result) == [bit] * n_honest
+
+    @settings(max_examples=30, deadline=None)
+    @given(n_honest=honest_counts, data=st.data(), seed=st.integers(0, 10**6))
+    def test_agreement_with_mixed_inputs(self, n_honest, data, seed):
+        inputs = data.draw(
+            st.lists(st.integers(0, 1), min_size=n_honest, max_size=n_honest)
+        )
+        n_byz = data.draw(byz_counts_for(n_honest))
+        result = run_subprotocol(
+            consensus_program, inputs, n_byz,
+            seed=seed, shared_seed=seed + 7,
+        )
+        outputs = honest_outputs(result)
+        assert len(set(outputs)) == 1
+        assert outputs[0] in (0, 1)
+
+    def test_fixed_round_count(self):
+        result = run_subprotocol(consensus_program, [0, 1, 0, 1], 0)
+        assert result.rounds == 24  # 12 iterations x 2 rounds
+
+    def test_rejects_non_bit_input(self):
+        from repro.crypto.shared_randomness import SharedRandomness
+
+        comm = CommitteeComm([0], b_max=0)
+        with pytest.raises(ValueError):
+            next(binary_consensus(comm, 2, SharedRandomness(0), "x"))
+
+    def test_rejects_zero_iterations(self):
+        from repro.crypto.shared_randomness import SharedRandomness
+
+        comm = CommitteeComm([0], b_max=0)
+        with pytest.raises(ValueError):
+            next(binary_consensus(comm, 1, SharedRandomness(0), "x",
+                                  iterations=0))

@@ -1,0 +1,211 @@
+"""Tests for the crash-resilient renaming algorithm (Theorem 1.2)."""
+
+import math
+from random import Random
+
+import pytest
+
+from repro.adversary.crash import (
+    CommitteeHunter,
+    MidSendPartitioner,
+    RandomCrash,
+    ScheduledCrash,
+)
+from repro.core.crash_renaming import (
+    CrashRenamingConfig,
+    CrashRenamingNode,
+    run_crash_renaming,
+)
+
+
+def assert_strong_renaming(result, n):
+    outputs = result.outputs_by_uid()
+    values = list(outputs.values())
+    assert len(set(values)) == len(values), f"duplicate names: {outputs}"
+    assert all(1 <= value <= n for value in values), f"out of range: {outputs}"
+
+
+SMALL_CONFIG = CrashRenamingConfig(election_constant=4)
+
+
+class TestFailureFree:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 7, 8, 9, 16, 33, 64])
+    def test_all_names_assigned_exactly_once(self, n):
+        result = run_crash_renaming(range(10, 10 + 3 * n, 3), seed=n)
+        outputs = result.outputs_by_uid()
+        assert sorted(outputs.values()) == list(range(1, n + 1))
+
+    def test_single_node_needs_no_rounds(self):
+        result = run_crash_renaming([42], namespace=100)
+        assert result.rounds == 0
+        assert result.outputs_by_uid() == {42: 1}
+
+    def test_round_count_is_deterministic(self):
+        n = 20
+        result = run_crash_renaming(range(1, n + 1), seed=3)
+        assert result.rounds == 9 * math.ceil(math.log2(n))
+
+    def test_seeded_runs_replay_exactly(self):
+        a = run_crash_renaming(range(1, 33), seed=5, config=SMALL_CONFIG)
+        b = run_crash_renaming(range(1, 33), seed=5, config=SMALL_CONFIG)
+        assert a.outputs_by_uid() == b.outputs_by_uid()
+        assert a.metrics.correct_messages == b.metrics.correct_messages
+
+    def test_huge_namespace_identities(self):
+        uids = [10**9, 5, 10**6, 777]
+        result = run_crash_renaming(uids, namespace=2 * 10**9, seed=1)
+        assert_strong_renaming(result, 4)
+
+    def test_paper_constant_elects_everyone_at_small_n(self):
+        # 256 log n / n >= 1 for n << 2^11: with the paper's constant,
+        # every node is a committee member.
+        result = run_crash_renaming(range(1, 17), seed=2)
+        committee = [p for p in result.processes if p.ever_elected]
+        assert len(committee) == 16
+
+
+class TestInputValidation:
+    def test_duplicate_identities_rejected(self):
+        with pytest.raises(ValueError, match="distinct"):
+            run_crash_renaming([1, 1, 2])
+
+    def test_identities_outside_namespace_rejected(self):
+        with pytest.raises(ValueError, match="identities must lie"):
+            run_crash_renaming([1, 200], namespace=100)
+
+    def test_zero_identity_rejected(self):
+        with pytest.raises(ValueError):
+            CrashRenamingNode(uid=0)
+
+
+class TestUnderCrashes:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_crashes(self, seed):
+        n = 40
+        adversary = RandomCrash(budget=n // 3, rate=0.05, rng=Random(seed))
+        result = run_crash_renaming(
+            range(1, n + 1), adversary=adversary, seed=seed,
+            config=SMALL_CONFIG,
+        )
+        assert_strong_renaming(result, n)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_committee_hunter(self, seed):
+        n = 48
+        adversary = CommitteeHunter(budget=n - 5, rng=Random(seed))
+        result = run_crash_renaming(
+            range(1, n + 1), adversary=adversary, seed=seed,
+            config=SMALL_CONFIG,
+        )
+        assert_strong_renaming(result, n)
+        assert result.crashed  # the hunter actually fired
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_mid_send_partitioner(self, seed):
+        n = 32
+        adversary = MidSendPartitioner(budget=n // 2, rng=Random(seed),
+                                       per_round=2)
+        result = run_crash_renaming(
+            range(1, n + 1), adversary=adversary, seed=seed,
+            config=SMALL_CONFIG,
+        )
+        assert_strong_renaming(result, n)
+
+    def test_all_but_one_crash(self):
+        n = 8
+        # Crash 7 of 8 nodes across the early rounds.
+        adversary = ScheduledCrash({2: [0, 1], 4: [2, 3], 6: [4, 5], 8: [6]})
+        result = run_crash_renaming(
+            range(1, n + 1), adversary=adversary, seed=1,
+        )
+        outputs = result.outputs_by_uid()
+        assert len(outputs) == 1
+        assert 1 <= next(iter(outputs.values())) <= n
+
+    def test_hunter_with_leaky_crashes(self):
+        n = 32
+        adversary = CommitteeHunter(budget=n // 2, rng=Random(9),
+                                    deliver_fraction=0.5)
+        result = run_crash_renaming(
+            range(1, n + 1), adversary=adversary, seed=9,
+            config=SMALL_CONFIG,
+        )
+        assert_strong_renaming(result, n)
+
+
+class TestResourceCompetitiveness:
+    """Lemmas 2.4-2.7: the p counters and the committee respond to
+    failures, and the p gap stays bounded (Lemma 2.5)."""
+
+    def test_p_stays_zero_without_failures(self):
+        result = run_crash_renaming(range(1, 33), seed=4, config=SMALL_CONFIG)
+        assert all(p.final_p == 0 for p in result.processes)
+
+    def test_killing_committees_raises_p(self):
+        n = 64
+        adversary = CommitteeHunter(budget=n - 4, rng=Random(2))
+        result = run_crash_renaming(
+            range(1, n + 1), adversary=adversary, seed=2, config=SMALL_CONFIG,
+        )
+        survivors = [
+            p for i, p in enumerate(result.processes)
+            if i not in result.crashed
+        ]
+        assert max(p.final_p for p in survivors) >= 1
+
+    def test_p_gap_at_most_one_among_survivors(self):
+        # Lemma 2.5: by the end of each phase the p spread is <= 1.
+        for seed in range(6):
+            n = 48
+            adversary = CommitteeHunter(budget=n - 4, rng=Random(seed),
+                                        deliver_fraction=0.3)
+            result = run_crash_renaming(
+                range(1, n + 1), adversary=adversary, seed=seed,
+                config=SMALL_CONFIG,
+            )
+            p_values = [
+                p.final_p for i, p in enumerate(result.processes)
+                if i not in result.crashed
+            ]
+            assert max(p_values) - min(p_values) <= 1
+
+    def test_more_crashes_cost_more_messages(self):
+        n = 64
+        quiet = run_crash_renaming(range(1, n + 1), seed=3,
+                                   config=SMALL_CONFIG)
+        noisy = run_crash_renaming(
+            range(1, n + 1),
+            adversary=CommitteeHunter(budget=n // 2, rng=Random(3)),
+            seed=3, config=SMALL_CONFIG,
+        )
+        # The hunter forces re-elections with doubled probability, so a
+        # harassed run sends more messages per surviving node.
+        survivors = n - len(noisy.crashed)
+        assert (noisy.metrics.correct_messages / survivors
+                > quiet.metrics.correct_messages / n * 0.9)
+
+
+class TestOutputsAndMetrics:
+    def test_every_message_is_logarithmic(self):
+        n = 64
+        result = run_crash_renaming(range(1, n + 1), seed=1,
+                                    config=SMALL_CONFIG)
+        # O(log N) bits per message with N = 64 defaults.
+        assert result.metrics.max_message_bits <= 64
+
+    def test_deterministic_round_bound_under_any_adversary(self):
+        n = 32
+        for seed in range(4):
+            adversary = RandomCrash(budget=n - 1, rate=0.1, rng=Random(seed))
+            result = run_crash_renaming(
+                range(1, n + 1), adversary=adversary, seed=seed,
+                config=SMALL_CONFIG,
+            )
+            assert result.rounds == 9 * math.ceil(math.log2(n))
+
+    def test_never_more_than_n_squared_log_n_messages(self):
+        # Theorem 1.2's deterministic ceiling.
+        n = 32
+        result = run_crash_renaming(range(1, n + 1), seed=6)
+        ceiling = 3 * n * n * 3 * math.ceil(math.log2(n))
+        assert result.metrics.correct_messages <= ceiling

@@ -1,0 +1,93 @@
+"""Exhaustive small-model checking of the uniqueness invariant.
+
+For a 4-node system the space of one-victim crash schedules (victim x
+crash round x mid-send delivery prefix) is small enough to enumerate
+*completely*.  These tests run every such schedule against the crash
+algorithm and both crash-tolerant baselines and assert the paper's
+deterministic correctness claim on each: survivors always hold
+distinct names in [1, n].  Unlike the hypothesis tests (random
+schedules at larger n), nothing here is sampled -- a regression that
+breaks any single-crash interleaving at n = 4 cannot slip through.
+"""
+
+import itertools
+import math
+
+import pytest
+
+from repro.adversary.crash import ScheduledCrash
+from repro.baselines.balls_into_slots import run_balls_into_slots
+from repro.baselines.obg_halving import run_obg_halving
+from repro.core.crash_renaming import CrashRenamingConfig, run_crash_renaming
+
+N = 4
+UIDS = [3, 11, 26, 40]
+#: All nodes elect themselves with the paper constant at n = 4, which
+#: maximises the number of distinct message interleavings a crash can cut.
+CONFIG = CrashRenamingConfig()
+
+
+def assert_strong(result):
+    outputs = result.outputs_by_uid()
+    values = list(outputs.values())
+    assert len(set(values)) == len(values), (
+        f"duplicate names {outputs} (crashed={result.crashed})"
+    )
+    assert all(1 <= value <= N for value in values)
+
+
+def single_crash_schedules(max_round: int, prefixes):
+    """Every (victim, round, delivered-prefix) combination."""
+    for victim, round_no, prefix in itertools.product(
+        range(N), range(1, max_round + 1), prefixes
+    ):
+        yield ScheduledCrash({round_no: [victim]},
+                             deliver_prefix={victim: prefix})
+
+
+class TestCrashRenamingExhaustive:
+    MAX_ROUND = 9 * math.ceil(math.log2(N))  # 18
+
+    def test_every_single_crash_schedule(self):
+        checked = 0
+        for adversary in single_crash_schedules(self.MAX_ROUND, (0, 2, 4)):
+            result = run_crash_renaming(
+                UIDS, adversary=adversary, seed=7, config=CONFIG,
+            )
+            assert_strong(result)
+            checked += 1
+        assert checked == N * self.MAX_ROUND * 3  # 216 executions
+
+    def test_every_two_crash_schedule_coarse(self):
+        """All victim pairs x staggered crash rounds x prefix choices."""
+        rounds = (1, 5, 9, 13, 17)
+        checked = 0
+        for (v1, v2), r1, r2, p1, p2 in itertools.product(
+            itertools.combinations(range(N), 2), rounds, rounds, (0, 2), (0, 2)
+        ):
+            if r1 == r2:
+                schedule = {r1: [v1, v2]}
+            else:
+                schedule = {r1: [v1], r2: [v2]}
+            adversary = ScheduledCrash(
+                schedule, deliver_prefix={v1: p1, v2: p2}
+            )
+            result = run_crash_renaming(
+                UIDS, adversary=adversary, seed=7, config=CONFIG,
+            )
+            assert_strong(result)
+            checked += 1
+        assert checked == 6 * 5 * 5 * 2 * 2  # 600 executions
+
+
+class TestBaselinesExhaustive:
+    def test_obg_every_single_crash_schedule(self):
+        max_round = math.ceil(math.log2(N))  # 2
+        for adversary in single_crash_schedules(max_round, (0, 1, 2, 3, 4)):
+            result = run_obg_halving(UIDS, adversary=adversary, seed=7)
+            assert_strong(result)
+
+    def test_balls_every_single_crash_schedule(self):
+        for adversary in single_crash_schedules(6, (0, 2, 4)):
+            result = run_balls_into_slots(UIDS, adversary=adversary, seed=7)
+            assert_strong(result)

@@ -1,0 +1,53 @@
+"""Tests for the use_fingerprints ablation switch (F10)."""
+
+import pytest
+
+from repro.adversary import byzantine as byz
+from repro.core.byzantine_renaming import (
+    ByzantineRenamingConfig,
+    run_byzantine_renaming,
+)
+
+UIDS = [7, 19, 55, 102, 200, 333, 404, 512, 640, 777]
+NAMESPACE = 2048
+
+
+def run(use_fingerprints: bool, corrupted=None):
+    config = ByzantineRenamingConfig(
+        max_byzantine=3, use_fingerprints=use_fingerprints
+    )
+    return run_byzantine_renaming(
+        UIDS, namespace=NAMESPACE, byzantine=corrupted or {},
+        config=config, shared_seed=2, seed=3,
+    )
+
+
+class TestAblationCorrectness:
+    def test_raw_segments_still_rename_correctly(self):
+        result = run(False)
+        outputs = result.outputs_by_uid()
+        assert outputs == {uid: i + 1 for i, uid in enumerate(sorted(UIDS))}
+
+    def test_raw_segments_survive_withholding(self):
+        corrupted = {200: byz.make_withholder(0.5)}
+        result = run(False, corrupted)
+        outputs = result.outputs_by_uid()
+        values = [outputs[uid] for uid in sorted(outputs)]
+        assert len(set(values)) == len(values)
+        assert values == sorted(values)
+
+    def test_identical_control_flow(self):
+        """The recursion is value-equality driven, so both
+        representations must take exactly the same path."""
+        corrupted = {200: byz.make_withholder(0.5)}
+        with_fp = run(True, corrupted)
+        without_fp = run(False, corrupted)
+        assert with_fp.rounds == without_fp.rounds
+        assert with_fp.outputs_by_uid() == without_fp.outputs_by_uid()
+
+    def test_raw_segments_cost_larger_messages(self):
+        corrupted = {200: byz.make_withholder(0.5)}
+        with_fp = run(True, corrupted)
+        without_fp = run(False, corrupted)
+        assert (without_fp.metrics.max_message_bits
+                > with_fp.metrics.max_message_bits)

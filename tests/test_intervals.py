@@ -1,0 +1,139 @@
+"""Unit and property tests for the interval-halving tree."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.intervals import Interval, root_interval, tree_depth_of
+
+
+class TestIntervalBasics:
+    def test_size_of_singleton(self):
+        assert Interval(4, 4).size == 1
+
+    def test_size_of_range(self):
+        assert Interval(3, 10).size == 8
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(5, 4)
+
+    def test_is_singleton(self):
+        assert Interval(7, 7).is_singleton
+        assert not Interval(7, 8).is_singleton
+
+    def test_membership(self):
+        interval = Interval(3, 6)
+        assert 3 in interval
+        assert 6 in interval
+        assert 2 not in interval
+        assert 7 not in interval
+
+    def test_contains_interval(self):
+        outer = Interval(1, 8)
+        assert outer.contains_interval(Interval(1, 8))
+        assert outer.contains_interval(Interval(3, 5))
+        assert not outer.contains_interval(Interval(0, 3))
+        assert not outer.contains_interval(Interval(5, 9))
+
+    def test_ordering_matches_figure3_sort_rule(self):
+        # Sorted by lo ascending, which is the "min(I) increasing" rule.
+        assert Interval(1, 4) < Interval(2, 3)
+        assert Interval(2, 2) < Interval(2, 3)
+
+    def test_repr(self):
+        assert repr(Interval(2, 5)) == "[2,5]"
+
+
+class TestHalving:
+    def test_paper_split_rule(self):
+        # bot([l,r]) = [l, floor((l+r)/2)], top = [floor((l+r)/2)+1, r].
+        interval = Interval(1, 7)
+        assert interval.bot() == Interval(1, 4)
+        assert interval.top() == Interval(5, 7)
+
+    def test_even_split(self):
+        interval = Interval(1, 8)
+        assert interval.bot() == Interval(1, 4)
+        assert interval.top() == Interval(5, 8)
+
+    def test_two_element_split(self):
+        interval = Interval(3, 4)
+        assert interval.bot() == Interval(3, 3)
+        assert interval.top() == Interval(4, 4)
+
+    def test_singleton_has_no_children(self):
+        with pytest.raises(ValueError):
+            Interval(2, 2).bot()
+        with pytest.raises(ValueError):
+            Interval(2, 2).top()
+
+    def test_halves_returns_both_children(self):
+        assert Interval(1, 3).halves() == (Interval(1, 2), Interval(3, 3))
+
+    @given(lo=st.integers(1, 1000), size=st.integers(2, 1000))
+    def test_children_partition_parent(self, lo, size):
+        parent = Interval(lo, lo + size - 1)
+        bot, top = parent.halves()
+        assert bot.hi + 1 == top.lo
+        assert bot.lo == parent.lo
+        assert top.hi == parent.hi
+        assert bot.size + top.size == parent.size
+
+    @given(lo=st.integers(1, 1000), size=st.integers(2, 1000))
+    def test_bot_never_smaller_than_top(self, lo, size):
+        parent = Interval(lo, lo + size - 1)
+        bot, top = parent.halves()
+        assert bot.size in (top.size, top.size + 1)
+
+
+class TestTree:
+    def test_root(self):
+        assert root_interval(10) == Interval(1, 10)
+
+    def test_root_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            root_interval(0)
+
+    def test_depth_of_root_is_zero(self):
+        assert tree_depth_of(Interval(1, 8), 8) == 0
+
+    def test_depth_of_children(self):
+        assert tree_depth_of(Interval(1, 4), 8) == 1
+        assert tree_depth_of(Interval(5, 8), 8) == 1
+
+    def test_depth_of_leaf(self):
+        assert tree_depth_of(Interval(3, 3), 8) == 3
+
+    def test_uneven_tree_has_shallow_singleton(self):
+        # For n = 3 the vertex [3,3] sits at depth 1 -- the case the
+        # committee's singleton-advance rule exists for.
+        assert tree_depth_of(Interval(3, 3), 3) == 1
+        assert tree_depth_of(Interval(1, 2), 3) == 1
+
+    def test_non_vertex_rejected(self):
+        with pytest.raises(ValueError):
+            tree_depth_of(Interval(2, 5), 8)
+
+    def test_straddling_interval_rejected(self):
+        with pytest.raises(ValueError):
+            tree_depth_of(Interval(4, 5), 8)
+
+    @given(n=st.integers(1, 512), data=st.data())
+    def test_every_leaf_reachable_at_depth_at_most_ceil_log(self, n, data):
+        import math
+
+        leaf = data.draw(st.integers(1, n))
+        depth = tree_depth_of(Interval(leaf, leaf), n)
+        bound = math.ceil(math.log2(n)) if n > 1 else 0
+        assert depth <= bound
+
+    @given(n=st.integers(2, 256), data=st.data())
+    def test_descent_is_consistent_with_containment(self, n, data):
+        # Walk a random path down; every vertex on it contains the leaf.
+        leaf = data.draw(st.integers(1, n))
+        current = root_interval(n)
+        while not current.is_singleton:
+            assert leaf in current
+            bot, top = current.halves()
+            current = bot if leaf in bot else top
+        assert current == Interval(leaf, leaf)

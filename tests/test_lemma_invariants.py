@@ -1,0 +1,196 @@
+"""Per-phase verification of the paper's key lemmas.
+
+The instrumentation hooks (``CrashRenamingNode.phase_log``,
+``ByzantineRenamingNode.segment_log``) expose each node's state at the
+end of every phase / loop iteration, so the lemmas can be checked as
+*invariants over the whole execution*, not just as end-state facts:
+
+* **Lemma 2.3** -- at the end of every phase, for every active node
+  ``v``, the number of active nodes whose interval is contained in
+  ``I_v`` is at most ``|I_v|`` (the slot-capacity invariant that makes
+  uniqueness deterministic).
+* **Lemma 2.5** -- at the end of every phase, the spread of ``p``
+  values among active nodes is at most 1.
+* Depth/interval monotonicity -- intervals only shrink along the tree,
+  depths and ``p`` never decrease.
+* **Lemma 3.8** -- all correct committee members process the identical
+  sequence of segments.
+* **Lemma 3.11 (consequence)** -- for every correct node, strictly more
+  than ``b_max`` correct committee members agree on its rank and keep
+  its position outside their dirty intervals.
+"""
+
+from random import Random
+
+import pytest
+
+from repro.adversary import byzantine as byz
+from repro.adversary.crash import (
+    CommitteeHunter,
+    MidSendPartitioner,
+    RandomCrash,
+)
+from repro.core.byzantine_renaming import (
+    ByzantineRenamingConfig,
+    run_byzantine_renaming,
+)
+from repro.core.crash_renaming import CrashRenamingConfig, run_crash_renaming
+
+CONFIG = CrashRenamingConfig(election_constant=4)
+
+
+def crash_executions():
+    n = 32
+    yield run_crash_renaming(range(1, n + 1), seed=1, config=CONFIG)
+    for seed in range(3):
+        yield run_crash_renaming(
+            range(1, n + 1),
+            adversary=CommitteeHunter(n // 2, Random(seed)),
+            seed=seed, config=CONFIG,
+        )
+        yield run_crash_renaming(
+            range(1, n + 1),
+            adversary=MidSendPartitioner(n // 2, Random(seed), per_round=2),
+            seed=seed, config=CONFIG,
+        )
+        yield run_crash_renaming(
+            range(1, n + 1),
+            adversary=RandomCrash(n // 2, 0.08, Random(seed)),
+            seed=seed, config=CONFIG,
+        )
+
+
+def phase_states(result, phase):
+    """(interval, depth, p) of every node active at the end of `phase`."""
+    return [
+        process.phase_log[phase]
+        for process in result.processes
+        if len(process.phase_log) > phase
+    ]
+
+
+class TestCrashLemmas:
+    def test_lemma_2_3_capacity_invariant_every_phase(self):
+        for result in crash_executions():
+            phases = max(len(p.phase_log) for p in result.processes)
+            for phase in range(phases):
+                states = phase_states(result, phase)
+                for interval_v, _, _, _ in states:
+                    inside = sum(
+                        1 for interval_u, _, _, _ in states
+                        if interval_v.contains_interval(interval_u)
+                    )
+                    assert inside <= interval_v.size, (
+                        f"phase {phase}: {inside} nodes inside "
+                        f"{interval_v} of size {interval_v.size}"
+                    )
+
+    def test_lemma_2_5_p_gap_every_phase(self):
+        for result in crash_executions():
+            phases = max(len(p.phase_log) for p in result.processes)
+            for phase in range(phases):
+                p_values = [p for _, _, p, _ in phase_states(result, phase)]
+                assert max(p_values) - min(p_values) <= 1
+
+    def test_intervals_only_descend_the_tree(self):
+        for result in crash_executions():
+            for process in result.processes:
+                previous = None
+                for interval, depth, p, _ in process.phase_log:
+                    if previous is not None:
+                        prev_interval, prev_depth, prev_p = previous
+                        assert prev_interval.contains_interval(interval)
+                        assert depth >= prev_depth
+                        assert p >= prev_p
+                    previous = (interval, depth, p)
+
+    def test_lemma_2_2_progress_with_live_committee(self):
+        """Whenever a committee member was elected at a phase start and
+        survived the phase, the minimum depth strictly increased."""
+        result = run_crash_renaming(range(1, 33), seed=2, config=CONFIG)
+        logs = [p.phase_log for p in result.processes]
+        phases = len(logs[0])
+        for phase in range(1, phases):
+            min_before = min(log[phase - 1][1] for log in logs)
+            min_after = min(log[phase][1] for log in logs)
+            committee_alive = any(log[phase - 1][3] for log in logs)
+            if committee_alive and min_before <= 5:  # ceil(log2 32)
+                assert min_after >= min_before + 1
+
+
+UIDS = [7, 19, 55, 102, 200, 333, 404, 512, 640, 777, 900, 1010, 1500]
+
+
+class TestByzantineLemmas:
+    CONFIG = ByzantineRenamingConfig(max_byzantine=4)
+
+    def byz_executions(self):
+        yield {}, run_byzantine_renaming(
+            UIDS, namespace=2048, config=self.CONFIG, shared_seed=1, seed=2,
+        )
+        for seed, corrupted in (
+            (3, {UIDS[4]: byz.make_withholder(0.5)}),
+            (4, {UIDS[1]: byz.make_equivocator(),
+                 UIDS[8]: byz.make_withholder(0.3)}),
+            (5, {UIDS[0]: byz.silent, UIDS[6]: byz.crash_simulator,
+                 UIDS[11]: byz.make_withholder(0.5)}),
+        ):
+            yield corrupted, run_byzantine_renaming(
+                UIDS, namespace=2048, byzantine=corrupted,
+                config=self.CONFIG, shared_seed=seed, seed=seed + 10,
+            )
+
+    def test_lemma_3_8_identical_segment_logs(self):
+        for corrupted, result in self.byz_executions():
+            logs = [
+                p.segment_log for p in result.processes
+                if getattr(p, "was_committee", False) and not p.byzantine
+            ]
+            assert logs, "no correct committee members"
+            assert all(log == logs[0] for log in logs)
+
+    def test_segment_logs_partition_the_namespace(self):
+        """J union J-hat is always a partition of [1, N] (Lemma 3.8's
+        second clause): the *processed leaves* of the recursion tree --
+        segments never re-split -- tile [1, N] exactly."""
+        for corrupted, result in self.byz_executions():
+            log = next(
+                p.segment_log for p in result.processes
+                if getattr(p, "was_committee", False) and not p.byzantine
+            )
+            processed = set(log)
+            leaves = []
+            for lo, hi in log:
+                mid = (lo + hi) // 2
+                is_split = lo != hi and ((lo, mid) in processed
+                                         and (mid + 1, hi) in processed)
+                if not is_split:
+                    leaves.append((lo, hi))
+            leaves.sort()
+            position = 1
+            for lo, hi in leaves:
+                assert lo == position, f"gap before {lo} in {leaves}"
+                position = hi + 1
+            assert position == 2048 + 1
+
+    def test_lemma_3_11_rank_support_exceeds_b_max(self):
+        """For every correct node, the committee members that are
+        non-dirty at its position and agree on its rank outnumber
+        b_max -- the property that makes distribution majority-safe."""
+        for corrupted, result in self.byz_executions():
+            params = self.CONFIG.parameters(len(UIDS))
+            committee = [
+                p for p in result.processes
+                if getattr(p, "was_committee", False) and not p.byzantine
+            ]
+            outputs = result.outputs_by_uid()
+            for uid, name in outputs.items():
+                supporters = 0
+                for member in committee:
+                    dirty = any(lo <= uid <= hi
+                                for lo, hi in member.dirty_intervals)
+                    if not dirty:
+                        supporters += 1
+                assert supporters >= params.b_max + 1, (
+                    f"uid {uid}: only {supporters} non-dirty members"
+                )

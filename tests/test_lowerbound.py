@@ -1,0 +1,115 @@
+"""Tests for the Theorem 1.4 lower-bound experiment."""
+
+import math
+from random import Random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lowerbound.anonymous import (
+    SilentRenamingExperiment,
+    exact_success_probability,
+    minimum_messages_for_success,
+)
+
+
+class TestExactFormula:
+    def test_everyone_coordinated_always_succeeds(self):
+        assert exact_success_probability(10, 10) == 1.0
+
+    def test_one_silent_node_always_succeeds(self):
+        assert exact_success_probability(10, 9) == 1.0
+
+    def test_two_silent_nodes_fail_half_the_time(self):
+        assert exact_success_probability(10, 8) == pytest.approx(0.5)
+
+    def test_three_silent_nodes(self):
+        assert exact_success_probability(10, 7) == pytest.approx(6 / 27)
+
+    def test_fully_silent_large_system_almost_never_succeeds(self):
+        assert exact_success_probability(50, 0) < 1e-15
+
+    def test_monotone_in_messages(self):
+        values = [exact_success_probability(20, m) for m in range(21)]
+        assert values == sorted(values)
+
+    def test_bounds_validated(self):
+        with pytest.raises(ValueError):
+            exact_success_probability(0, 0)
+        with pytest.raises(ValueError):
+            exact_success_probability(5, 6)
+
+    @given(n=st.integers(1, 200), data=st.data())
+    def test_probability_is_a_probability(self, n, data):
+        messages = data.draw(st.integers(0, n))
+        p = exact_success_probability(n, messages)
+        assert 0.0 <= p <= 1.0
+
+
+class TestMessageFloor:
+    """The theorem's content: success >= 3/4 needs Omega(n) messages."""
+
+    @pytest.mark.parametrize("n", [3, 5, 10, 50, 200])
+    def test_three_quarters_needs_n_minus_one_messages(self, n):
+        assert minimum_messages_for_success(n, 0.75) == n - 1
+
+    def test_floor_is_linear_in_n(self):
+        floors = [minimum_messages_for_success(n) for n in (10, 20, 40, 80)]
+        ratios = [floor / n for floor, n in zip(floors, (10, 20, 40, 80))]
+        assert all(ratio >= 0.9 for ratio in ratios)
+
+    def test_lower_targets_need_fewer_messages(self):
+        assert (minimum_messages_for_success(30, 0.1)
+                <= minimum_messages_for_success(30, 0.9))
+
+    def test_target_validated(self):
+        with pytest.raises(ValueError):
+            minimum_messages_for_success(10, 0.0)
+
+
+class TestMonteCarlo:
+    def test_matches_exact_formula(self):
+        experiment = SilentRenamingExperiment(n=12, rng=Random(7))
+        for messages in (4, 8, 10, 11):
+            measured = experiment.run(messages, trials=4000)
+            exact = exact_success_probability(12, messages)
+            assert measured == pytest.approx(exact, abs=0.04)
+
+    def test_sweep_rows(self):
+        experiment = SilentRenamingExperiment(n=8, rng=Random(1))
+        rows = experiment.sweep([0, 4, 8], trials=500)
+        assert [row["messages"] for row in rows] == [0, 4, 8]
+        assert rows[-1]["measured_success"] == 1.0
+
+    def test_trials_validated(self):
+        experiment = SilentRenamingExperiment(n=8, rng=Random(1))
+        with pytest.raises(ValueError):
+            experiment.run(4, trials=0)
+
+    def test_budget_validated(self):
+        experiment = SilentRenamingExperiment(n=8, rng=Random(1))
+        with pytest.raises(ValueError):
+            experiment.run_once(9)
+
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(2, 30), seed=st.integers(0, 10**6))
+    def test_collision_probability_nontrivial_when_silent(self, n, seed):
+        """The proof's core step: >= 2 silent nodes collide with
+        probability >= 1/4 (here: at least 1/n per pair, 1/2 for the
+        minimal configuration)."""
+        experiment = SilentRenamingExperiment(n=n, rng=Random(seed))
+        failure = 1.0 - experiment.run(n - 2, trials=600)
+        assert failure >= 0.35  # exact value is 1/2
+
+
+class TestReductionNarrative:
+    def test_subquadratic_algorithms_respect_the_floor(self):
+        """Our algorithms (Theorems 1.2/1.3) send >> n messages, i.e.
+        they sit above the Omega(n) floor, as any correct algorithm
+        must."""
+        from repro.core.crash_renaming import run_crash_renaming
+
+        n = 16
+        result = run_crash_renaming(range(1, n + 1), seed=1)
+        floor = minimum_messages_for_success(n, 0.75)
+        assert result.metrics.correct_messages >= floor

@@ -1,0 +1,136 @@
+"""Tests for the epoch-based overlay directory application."""
+
+from random import Random
+
+import pytest
+
+from repro.adversary.crash import CommitteeHunter, RandomCrash
+from repro.apps.overlay_directory import OverlayDirectory
+from repro.core.crash_renaming import CrashRenamingConfig
+
+CONFIG = CrashRenamingConfig(election_constant=4)
+
+
+def fresh_directory(n=12, namespace=10_000, seed=1):
+    directory = OverlayDirectory(namespace, config=CONFIG, seed=seed)
+    for uid in range(100, 100 + 37 * n, 37):
+        directory.join(uid)
+    return directory
+
+
+class TestMembership:
+    def test_join_and_leave(self):
+        directory = OverlayDirectory(100, seed=1)
+        directory.join(5)
+        directory.leave(5)
+        assert directory.members == set()
+
+    def test_duplicate_join_rejected(self):
+        directory = OverlayDirectory(100)
+        directory.join(5)
+        with pytest.raises(ValueError, match="already"):
+            directory.join(5)
+
+    def test_leave_of_non_member_rejected(self):
+        with pytest.raises(ValueError, match="not a member"):
+            OverlayDirectory(100).leave(5)
+
+    def test_identity_must_fit_namespace(self):
+        with pytest.raises(ValueError, match="outside"):
+            OverlayDirectory(100).join(101)
+
+    def test_namespace_validated(self):
+        with pytest.raises(ValueError):
+            OverlayDirectory(0)
+
+
+class TestEpochs:
+    def test_first_epoch_assigns_compact_ids(self):
+        directory = fresh_directory(n=10)
+        report = directory.run_epoch()
+        assert report.epoch == 1
+        assert report.renamed == 10
+        assert sorted(report.assignment.values()) == list(range(1, 11))
+
+    def test_lookups_are_inverses(self):
+        directory = fresh_directory(n=8)
+        directory.run_epoch()
+        for uid in directory.members:
+            assert directory.original_id(directory.compact_id(uid)) == uid
+
+    def test_lookup_before_epoch_fails(self):
+        directory = fresh_directory()
+        with pytest.raises(KeyError, match="no compact id"):
+            directory.compact_id(100)
+
+    def test_unassigned_compact_id_fails(self):
+        directory = fresh_directory(n=4)
+        directory.run_epoch()
+        with pytest.raises(KeyError, match="unassigned"):
+            directory.original_id(5)
+
+    def test_empty_epoch_rejected(self):
+        with pytest.raises(ValueError, match="no members"):
+            OverlayDirectory(100).run_epoch()
+
+    def test_churn_shrinks_and_grows_the_namespace(self):
+        directory = fresh_directory(n=10)
+        directory.run_epoch()
+        departing = sorted(directory.members)[:3]
+        for uid in departing:
+            directory.leave(uid)
+        directory.join(9_999)
+        report = directory.run_epoch()
+        assert report.members == 8
+        assert sorted(report.assignment.values()) == list(range(1, 9))
+        assert directory.compact_id(9_999) in range(1, 9)
+
+    def test_epochs_replay_from_seed(self):
+        a = fresh_directory(seed=9)
+        b = fresh_directory(seed=9)
+        assert a.run_epoch().assignment == b.run_epoch().assignment
+
+    def test_history_accumulates(self):
+        directory = fresh_directory(n=6)
+        directory.run_epoch()
+        directory.run_epoch()
+        assert [report.epoch for report in directory.history] == [1, 2]
+
+
+class TestChurnUnderFailures:
+    def test_crashed_members_are_departed(self):
+        directory = fresh_directory(n=16, seed=3)
+        report = directory.run_epoch(
+            adversary=RandomCrash(5, 0.1, Random(4))
+        )
+        assert set(report.departed_during_epoch).isdisjoint(directory.members)
+        assert report.renamed == report.members - len(
+            report.departed_during_epoch
+        )
+        # Survivors still hold distinct compact ids within [1, members].
+        values = list(report.assignment.values())
+        assert len(set(values)) == len(values)
+        assert all(1 <= value <= report.members for value in values)
+
+    def test_next_epoch_runs_clean_after_an_attack(self):
+        directory = fresh_directory(n=16, seed=5)
+        directory.run_epoch(adversary=CommitteeHunter(8, Random(6)))
+        survivors = len(directory.members)
+        report = directory.run_epoch()
+        assert report.renamed == survivors
+        assert sorted(report.assignment.values()) == list(
+            range(1, survivors + 1)
+        )
+
+    def test_attacked_epoch_costs_more_per_member(self):
+        quiet = fresh_directory(n=24, seed=7)
+        quiet_report = quiet.run_epoch()
+        noisy = fresh_directory(n=24, seed=7)
+        noisy_report = noisy.run_epoch(
+            adversary=CommitteeHunter(12, Random(8))
+        )
+        assert noisy_report.departed_during_epoch
+        # The report retains enough to do this accounting at all --
+        # which is the operational point of the class.
+        assert noisy_report.messages > 0
+        assert quiet_report.rounds == noisy_report.rounds

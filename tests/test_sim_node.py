@@ -1,0 +1,82 @@
+"""Unit tests for Process/Context and the metrics ledger."""
+
+from random import Random
+
+import pytest
+
+from repro.sim.messages import CostModel
+from repro.sim.metrics import Metrics
+from repro.sim.node import Context, IdleProcess, Process
+from tests.test_network import Ping
+
+
+class TestProcess:
+    def test_uid_must_be_positive(self):
+        with pytest.raises(ValueError):
+            IdleProcess(uid=0)
+
+    def test_base_program_is_abstract(self):
+        process = Process(uid=1)
+        with pytest.raises(NotImplementedError):
+            next(process.program(None))
+
+    def test_default_flags(self):
+        process = IdleProcess(uid=1)
+        assert process.byzantine is False
+        assert process.result is None
+
+    def test_repr(self):
+        assert "uid=7" in repr(IdleProcess(uid=7))
+
+
+class TestContext:
+    def test_fields(self):
+        cost = CostModel(n=4, namespace=100)
+        ctx = Context(n=4, namespace=100, index=2, rng=Random(1), cost=cost)
+        assert ctx.shared is None
+        assert ctx.current_round == 0
+
+
+class TestMetrics:
+    def cost(self):
+        return CostModel(n=4, namespace=100)
+
+    def test_round_series_alignment(self):
+        metrics = Metrics(cost=self.cost())
+        metrics.begin_round()
+        metrics.record_send(0, Ping(), byzantine=False)
+        metrics.begin_round()
+        assert metrics.messages_per_round == [1, 0]
+        assert metrics.rounds == 2
+
+    def test_ledger_separation(self):
+        metrics = Metrics(cost=self.cost())
+        metrics.begin_round()
+        metrics.record_send(0, Ping(), byzantine=False)
+        metrics.record_send(1, Ping(), byzantine=True)
+        assert metrics.correct_messages == 1
+        assert metrics.byzantine_messages == 1
+        assert metrics.total_messages == 2
+        assert metrics.total_bits == metrics.correct_bits + metrics.byzantine_bits
+
+    def test_type_and_node_counters(self):
+        metrics = Metrics(cost=self.cost())
+        metrics.begin_round()
+        metrics.record_send(3, Ping(), byzantine=False)
+        metrics.record_send(3, Ping(), byzantine=False)
+        assert metrics.sends_by_node[3] == 2
+        assert metrics.sends_by_type["Ping"] == 2
+
+    def test_summary_keys(self):
+        metrics = Metrics(cost=self.cost())
+        summary = metrics.summary()
+        assert {"rounds", "correct_messages", "correct_bits",
+                "byzantine_messages", "byzantine_bits",
+                "max_message_bits"} == set(summary)
+
+    def test_max_message_bits_tracks_largest(self):
+        metrics = Metrics(cost=self.cost())
+        metrics.begin_round()
+        metrics.record_send(0, Ping(), byzantine=False)
+        size = Ping().bit_size(self.cost())
+        assert metrics.max_message_bits == size

@@ -1,0 +1,98 @@
+"""Statistical checks on the randomized components.
+
+These tests verify distributions, not single outcomes: committee sizes
+concentrate where the election probability puts them, the shared-coin
+stream is unbiased, the candidate lottery is Binomial, and the
+balls-into-slots round count is logarithmic with small spread.  Sample
+sizes and tolerances are chosen so that false alarms are ~impossible
+(beyond 5 sigma) while real distributional bugs (off-by-2x rates,
+stuck bits) are caught.
+"""
+
+import math
+from random import Random
+
+from repro.analysis.stats import summarize
+from repro.baselines.balls_into_slots import run_balls_into_slots
+from repro.core.crash_renaming import CrashRenamingConfig, run_crash_renaming
+from repro.crypto.shared_randomness import SharedRandomness
+
+
+class TestCommitteeSizeDistribution:
+    def test_initial_committee_concentrates_at_c_log_n(self):
+        n, c = 64, 4
+        config = CrashRenamingConfig(election_constant=c)
+        expected = c * math.log2(n)  # n * probability
+        sizes = []
+        for seed in range(25):
+            result = run_crash_renaming(
+                range(1, n + 1), seed=seed, config=config,
+            )
+            sizes.append(sum(p.ever_elected for p in result.processes))
+        stats = summarize(sizes)
+        sigma = math.sqrt(expected)  # binomial std, p small
+        assert abs(stats.mean - expected) < 5 * sigma / math.sqrt(len(sizes))
+        # Never wildly off in any single run (beyond ~5 sigma).
+        assert stats.maximum < expected + 6 * sigma
+        assert stats.minimum > max(0, expected - 6 * sigma)
+
+
+class TestSharedCoinFairness:
+    def test_coin_stream_is_balanced(self):
+        shared = SharedRandomness(1234)
+        flips = [shared.coin(f"fair:{i}") for i in range(4000)]
+        ones = sum(flips)
+        # 5-sigma band around 2000 for Binomial(4000, 1/2).
+        assert abs(ones - 2000) < 5 * math.sqrt(1000)
+
+    def test_coin_stream_has_no_stuck_runs(self):
+        shared = SharedRandomness(99)
+        flips = [shared.coin(f"runs:{i}") for i in range(2000)]
+        longest, current = 0, 0
+        previous = None
+        for flip in flips:
+            current = current + 1 if flip == previous else 1
+            previous = flip
+            longest = max(longest, current)
+        # P[run >= 30] ~ 2000 * 2^-30 ~ 2e-6.
+        assert longest < 30
+
+    def test_lottery_is_binomial(self):
+        universe, p = 20_000, 0.01
+        sizes = [
+            len(SharedRandomness(seed).bernoulli_subset("lot", universe, p))
+            for seed in range(50)
+        ]
+        stats = summarize(sizes)
+        mean, sigma = universe * p, math.sqrt(universe * p * (1 - p))
+        assert abs(stats.mean - mean) < 5 * sigma / math.sqrt(len(sizes))
+        assert sigma / 3 < stats.std < sigma * 3
+
+
+class TestBallsRoundsDistribution:
+    def test_rounds_are_logarithmic_with_small_spread(self):
+        n = 64
+        rounds = [
+            run_balls_into_slots(range(1, n + 1), seed=seed).rounds
+            for seed in range(30)
+        ]
+        stats = summarize(rounds)
+        assert stats.mean < 2 * math.log2(n)
+        assert stats.maximum - stats.minimum <= 6
+
+
+class TestFingerprintUniformity:
+    def test_digests_spread_over_the_field(self):
+        """Digest residues mod small m should be near-uniform."""
+        from repro.crypto.hashing import FingerprintFamily
+
+        family = FingerprintFamily(SharedRandomness(7))
+        hasher = family.draw("uniformity")
+        buckets = [0] * 8
+        for value in range(2000):
+            digest = hasher.digest_segment([value + 1], 1, 4000)
+            buckets[digest % 8] += 1
+        expected = 2000 / 8
+        # Chi-square with 7 dof: 5-sigma-ish critical value ~ 40.
+        chi2 = sum((b - expected) ** 2 / expected for b in buckets)
+        assert chi2 < 40

@@ -1,0 +1,49 @@
+"""Tests for the shared table formatting."""
+
+from repro.analysis.tables import markdown_table, plain_table, select
+
+
+class TestPlainTable:
+    def test_alignment(self):
+        text = plain_table([{"a": 1, "bb": 2}, {"a": 333, "bb": 4}])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "333" in lines[2]
+        # Columns line up: 'bb' header sits above its values.
+        assert lines[0].index("bb") == lines[1].index("2")
+
+    def test_booleans_render_as_yes_no(self):
+        text = plain_table([{"ok": True}, {"ok": False}])
+        assert "yes" in text and "no" in text
+
+    def test_float_formatting(self):
+        assert "3.14" in plain_table([{"x": 3.14159}])
+        assert "3.1416" in plain_table([{"x": 3.14159}], float_digits=4)
+
+    def test_explicit_columns_and_missing_keys(self):
+        text = plain_table([{"a": 1}], columns=["a", "z"])
+        assert "None" in text
+
+    def test_empty(self):
+        assert plain_table([]) == "(no rows)"
+
+
+class TestMarkdownTable:
+    def test_structure(self):
+        text = markdown_table([{"a": 1, "b": 2}])
+        lines = text.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2 |"
+
+    def test_empty(self):
+        assert markdown_table([]) == "(no rows)"
+
+
+class TestSelect:
+    def test_projection(self):
+        rows = [{"a": 1, "b": 2, "c": 3}]
+        assert select(rows, ["c", "a"]) == [{"c": 3, "a": 1}]
+
+    def test_missing_becomes_none(self):
+        assert select([{"a": 1}], ["b"]) == [{"b": None}]

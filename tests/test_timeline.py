@@ -1,0 +1,58 @@
+"""Tests for the timeline rendering utilities."""
+
+from repro.adversary.crash import ScheduledCrash
+from repro.analysis.timeline import describe, render_timeline, round_summaries
+from repro.core.crash_renaming import CrashRenamingConfig, run_crash_renaming
+
+
+def traced_run():
+    return run_crash_renaming(
+        range(1, 9),
+        adversary=ScheduledCrash({4: [2]}),
+        config=CrashRenamingConfig(election_constant=4),
+        seed=3, trace=True,
+    )
+
+
+class TestRoundSummaries:
+    def test_one_summary_per_round(self):
+        result = traced_run()
+        summaries = round_summaries(result)
+        assert len(summaries) == result.rounds
+        assert [s.round_no for s in summaries] == list(
+            range(1, result.rounds + 1)
+        )
+
+    def test_crash_appears_in_its_round(self):
+        result = traced_run()
+        summaries = round_summaries(result)
+        assert summaries[3].crashes == (2,)
+        assert all(s.crashes == () for s in summaries if s.round_no != 4)
+
+    def test_terminations_in_final_round(self):
+        result = traced_run()
+        summaries = round_summaries(result)
+        assert len(summaries[-1].terminations) == 7
+
+    def test_message_totals_match_metrics(self):
+        result = traced_run()
+        assert (sum(s.messages for s in round_summaries(result))
+                == result.metrics.correct_messages)
+
+
+class TestRendering:
+    def test_timeline_mentions_crash(self):
+        text = render_timeline(traced_run())
+        assert "crash:[2]" in text
+        assert text.count("\n") == traced_run().rounds - 1
+
+    def test_empty_execution(self):
+        result = run_crash_renaming([42], namespace=50)
+        assert render_timeline(result) == "(no rounds executed)"
+
+    def test_describe_contains_key_facts(self):
+        result = traced_run()
+        text = describe(result)
+        assert f"{result.rounds} rounds" in text
+        assert "1 crashed" in text
+        assert "7 correct nodes finished" in text
