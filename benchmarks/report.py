@@ -2,8 +2,17 @@
 
 Usage::
 
-    python benchmarks/report.py            # full report (several minutes)
-    python benchmarks/report.py --quick    # smaller sweeps
+    python benchmarks/report.py               # full report (several minutes)
+    python benchmarks/report.py --quick       # smaller sweeps
+    python benchmarks/report.py --jobs 8      # parallel across 8 workers
+    python benchmarks/report.py --store .repro/runs.sqlite   # resumable
+
+Every protocol execution goes through :mod:`repro.engine`: all sections'
+runs are gathered into one request list, deduplicated, executed in
+parallel, and (with ``--store``, on by default) cached in the SQLite run
+store — an interrupted report resumes from where it stopped, and a
+re-run after an algorithm change recomputes only what the new code
+version invalidates.
 
 The printed output is markdown; paste it into EXPERIMENTS.md after a
 substantive change to the algorithms or the cost model.
@@ -13,6 +22,7 @@ from __future__ import annotations
 
 import argparse
 import math
+import os
 import sys
 from random import Random
 
@@ -30,16 +40,21 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
                         help="smaller sweeps for a fast sanity pass")
+    parser.add_argument("--jobs", type=int,
+                        default=max(1, (os.cpu_count() or 1) - 1),
+                        help="engine worker processes")
+    parser.add_argument("--store", default=None,
+                        help="run-store path (default $REPRO_STORE or "
+                             ".repro/runs.sqlite)")
+    parser.add_argument("--no-store", action="store_true",
+                        help="recompute everything, touch no store")
     args = parser.parse_args()
 
     from repro.analysis.complexity import fit_loglog_slope
-    from repro.analysis.experiments import (
-        byzantine_run_summary,
-        crash_run_summary,
-        gossip_run_summary,
-        obg_run_summary,
-        table1_rows,
-    )
+    from repro.analysis.experiments import rows_or_raise
+    from repro.engine.pool import run_requests
+    from repro.engine.store import RunStore, default_store_path
+    from repro.engine.sweeps import RunRequest, table1_requests
     from repro.lowerbound.anonymous import (
         SilentRenamingExperiment,
         minimum_messages_for_success,
@@ -47,22 +62,105 @@ def main() -> None:
 
     quick = args.quick
 
-    # T1 ---------------------------------------------------------------
+    # Declare every section's protocol runs up front so the engine can
+    # dedup across sections and keep all workers busy throughout.
+    groups: dict[str, list[RunRequest]] = {}
+
+    def crash(n, f, seed=1, **params):
+        return RunRequest.make("crash", n, f, seed, **params)
+
+    def byz(n, f, seed, **params):
+        return RunRequest.make("byzantine", n, f, seed, **params)
+
     n_t1, f_t1 = (32, 4) if quick else (64, 8)
-    rows = table1_rows(n_t1, f_t1, seed=1)
+    groups["t1"] = table1_requests(n_t1, f_t1, seed=1)
+
+    ns = [32, 64, 128] if quick else [32, 64, 128, 256]
+    groups["f1"] = [
+        request
+        for n in ns
+        for request in (crash(n, 0, adversary=None),
+                        RunRequest.make("obg", n, 0, 1))
+    ]
+
+    n_f2 = 64 if quick else 128
+    f2_budgets = (0, n_f2 // 8, n_f2 // 4, n_f2 // 2, int(0.8 * n_f2))
+    groups["f2"] = [crash(n_f2, f) for f in f2_budgets]
+
+    groups["f3"] = [
+        request
+        for n in ns
+        for request in (crash(n, 0, adversary=None), crash(n, n // 2))
+    ]
+
+    byz_ns = [16, 32, 64] if quick else [32, 64, 128, 256]
+    groups["f4"] = [
+        byz(n, 0, 1, f_assumed=max(2, n // 32), consensus_iterations=8)
+        for n in byz_ns
+    ]
+
+    f5_faults = (0, 1, 2, 3, 4)
+    groups["f5"] = [
+        byz(16, f, 3, strategy="withholder", f_assumed=4,
+            consensus_iterations=8)
+        for f in f5_faults
+    ]
+
+    f7a_namespaces = (1 << 12, 1 << 18, 1 << 24)
+    groups["f7a"] = [crash(32, 4, namespace=namespace)
+                     for namespace in f7a_namespaces]
+
+    f7b_ns = (32, 64) if quick else (32, 64, 128)
+    groups["f7b"] = [
+        request
+        for n in f7b_ns
+        for request in (crash(n, n // 16),
+                        RunRequest.make("gossip", n, n // 16, 1))
+    ]
+
+    f8_budgets = (0, 16, 48, 96, 120)
+    groups["f8"] = [RunRequest.make("reelection", 128, budget, 5)
+                    for budget in f8_budgets]
+
+    f9_faults = (0, 1, 2, 3)
+    groups["f9"] = [
+        byz(16, f, 7, strategy="withholder", f_assumed=4,
+            consensus_iterations=8)
+        for f in f9_faults
+    ]
+
+    store = None
+    if not args.no_store:
+        store = RunStore(args.store if args.store else default_store_path())
+
+    all_requests = [request for group in groups.values()
+                    for request in group]
+    try:
+        results = run_requests(all_requests, jobs=args.jobs, store=store)
+    finally:
+        if store is not None:
+            store.close()
+
+    rows_by_group: dict[str, list[dict]] = {}
+    cursor = 0
+    for name, group in groups.items():
+        rows_by_group[name] = rows_or_raise(
+            results[cursor:cursor + len(group)]
+        )
+        cursor += len(group)
+
+    # T1 ---------------------------------------------------------------
     keep = ("algorithm", "rounds", "messages", "bits", "max_message_bits",
             "unique", "strong")
     section(
         f"T1 -- Table 1 measured (n={n_t1}, f={f_t1})",
-        [{k: row.get(k) for k in keep} for row in rows],
+        [{k: row.get(k) for k in keep} for row in rows_by_group["t1"]],
     )
 
     # F1 ---------------------------------------------------------------
-    ns = [32, 64, 128] if quick else [32, 64, 128, 256]
     f1 = []
-    for n in ns:
-        ours = crash_run_summary(n, 0, seed=1, adversary=None)
-        obg = obg_run_summary(n, 0, seed=1)
+    for index, n in enumerate(ns):
+        ours, obg = rows_by_group["f1"][2 * index:2 * index + 2]
         f1.append({"n": n, "ours_messages": ours["messages"],
                    "obg_messages": obg["messages"],
                    "ratio_obg_over_ours": obg["messages"] / ours["messages"]})
@@ -72,32 +170,28 @@ def main() -> None:
             f"log-log slopes: ours {slope_ours:.2f}, all-to-all {slope_obg:.2f}.")
 
     # F2 ---------------------------------------------------------------
-    n_f2 = 64 if quick else 128
-    f2 = []
-    for f in (0, n_f2 // 8, n_f2 // 4, n_f2 // 2, int(0.8 * n_f2)):
-        row = crash_run_summary(n_f2, f, seed=1)
-        f2.append({"f_budget": f, "f_actual": row["f_actual"],
-                   "messages": row["messages"], "rounds": row["rounds"]})
+    f2 = [
+        {"f_budget": f, "f_actual": row["f_actual"],
+         "messages": row["messages"], "rounds": row["rounds"]}
+        for f, row in zip(f2_budgets, rows_by_group["f2"])
+    ]
     section(f"F2 -- crash messages vs f (n={n_f2}, committee hunter)", f2)
 
     # F3 ---------------------------------------------------------------
     f3 = []
-    for n in ns:
-        quiet = crash_run_summary(n, 0, seed=1, adversary=None)
-        hunted = crash_run_summary(n, n // 2, seed=1)
+    for index, n in enumerate(ns):
+        quiet, hunted = rows_by_group["f3"][2 * index:2 * index + 2]
         f3.append({"n": n, "bound_9ceil_log2": 9 * math.ceil(math.log2(n)),
                    "rounds_f0": quiet["rounds"],
                    "rounds_hunted": hunted["rounds"]})
     section("F3 -- crash rounds vs n", f3)
 
     # F4 ---------------------------------------------------------------
-    byz_ns = [16, 32, 64] if quick else [32, 64, 128, 256]
-    f4 = []
-    for n in byz_ns:
-        row = byzantine_run_summary(n, 0, seed=1, f_assumed=max(2, n // 32),
-                                    consensus_iterations=8)
-        f4.append({"n": n, "messages": row["messages"], "bits": row["bits"],
-                   "rounds": row["rounds"]})
+    f4 = [
+        {"n": n, "messages": row["messages"], "bits": row["bits"],
+         "rounds": row["rounds"]}
+        for n, row in zip(byz_ns, rows_by_group["f4"])
+    ]
     slope_byz = fit_loglog_slope(byz_ns, [r["messages"] for r in f4])
     section(
         "F4 -- Byzantine messages vs n (f=0)", f4,
@@ -107,16 +201,16 @@ def main() -> None:
     )
 
     # F5 ---------------------------------------------------------------
-    f5 = []
-    for f in (0, 1, 2, 3, 4):
-        row = byzantine_run_summary(16, f, seed=3, strategy="withholder",
-                                    f_assumed=4, consensus_iterations=8)
-        f5.append({"f": f, "rounds": row["rounds"],
-                   "messages": row["messages"],
-                   "splits": row["segments_split"]})
+    f5 = [
+        {"f": f, "rounds": row["rounds"], "messages": row["messages"],
+         "splits": row["segments_split"]}
+        for f, row in zip(f5_faults, rows_by_group["f5"])
+    ]
     section("F5 -- Byzantine rounds vs actual f (n=16, withholders)", f5)
 
     # F6 ---------------------------------------------------------------
+    # Monte-Carlo over an analytic model, not a protocol execution, so
+    # it stays outside the engine.
     n_lb = 64
     experiment = SilentRenamingExperiment(n=n_lb, rng=Random(11))
     budgets = [0, n_lb // 2, n_lb - 4, n_lb - 2, n_lb - 1, n_lb]
@@ -128,67 +222,36 @@ def main() -> None:
     )
 
     # F7 ---------------------------------------------------------------
-    f7a = []
-    for namespace in (1 << 12, 1 << 18, 1 << 24):
-        row = crash_run_summary(32, 4, seed=1, namespace=namespace)
-        f7a.append({"log2_N": int(math.log2(namespace)),
-                    "max_message_bits": row["max_message_bits"]})
+    f7a = [
+        {"log2_N": int(math.log2(namespace)),
+         "max_message_bits": row["max_message_bits"]}
+        for namespace, row in zip(f7a_namespaces, rows_by_group["f7a"])
+    ]
     section("F7a -- max message bits vs log2 N (n=32)", f7a)
 
     f7b = []
-    for n in (32, 64) if quick else (32, 64, 128):
-        ours = crash_run_summary(n, n // 16, seed=1)
-        gossip = gossip_run_summary(n, n // 16, seed=1)
+    for index, n in enumerate(f7b_ns):
+        ours, gossip = rows_by_group["f7b"][2 * index:2 * index + 2]
         f7b.append({"n": n, "ours_bits": ours["bits"],
                     "gossip_bits": gossip["bits"],
                     "ratio": gossip["bits"] / ours["bits"]})
     section("F7b -- total bits, ours vs gossip family", f7b)
 
     # F8 ---------------------------------------------------------------
-    from repro.adversary.crash import CommitteeHunter
-    from repro.analysis.experiments import (
-        EXPERIMENT_ELECTION_CONSTANT,
-        default_namespace,
-        sample_uids,
-    )
-    from repro.core.crash_renaming import (
-        CrashRenamingConfig,
-        run_crash_renaming,
-    )
-
-    def f8_run(budget, n=128, seed=5):
-        namespace = default_namespace(n)
-        uids = sample_uids(n, namespace, Random(seed))
-        result = run_crash_renaming(
-            uids, namespace=namespace,
-            adversary=(CommitteeHunter(budget, Random(seed + 1))
-                       if budget else None),
-            config=CrashRenamingConfig(
-                election_constant=EXPERIMENT_ELECTION_CONSTANT),
-            seed=seed + 2,
-        )
-        survivors = [p for i, p in enumerate(result.processes)
-                     if i not in result.crashed]
-        p_values = [p.final_p for p in survivors]
-        return {
-            "budget": budget,
-            "crashed": len(result.crashed),
-            "max_p": max(p_values),
-            "p_spread": max(p_values) - min(p_values),
-            "ever_elected": sum(p.ever_elected for p in result.processes),
-            "messages": result.metrics.correct_messages,
-        }
-
-    f8 = [f8_run(budget) for budget in (0, 16, 48, 96, 120)]
+    f8 = [
+        {"budget": budget, "crashed": row["crashed"], "max_p": row["max_p"],
+         "p_spread": row["p_spread"], "ever_elected": row["ever_elected"],
+         "messages": row["messages"]}
+        for budget, row in zip(f8_budgets, rows_by_group["f8"])
+    ]
     section("F8 -- committee re-election ablation (n=128)", f8)
 
     # F9 ---------------------------------------------------------------
-    f9 = []
-    for f in (0, 1, 2, 3):
-        row = byzantine_run_summary(16, f, seed=7, strategy="withholder",
-                                    f_assumed=4, consensus_iterations=8)
-        f9.append({"f": f, "splits": row["segments_split"],
-                   "f_log2N_budget": round(f * math.log2(5 * 16 * 16), 1)})
+    f9 = [
+        {"f": f, "splits": row["segments_split"],
+         "f_log2N_budget": round(f * math.log2(5 * 16 * 16), 1)}
+        for f, row in zip(f9_faults, rows_by_group["f9"])
+    ]
     section("F9 -- segment splits vs f (n=16, N=1280)", f9)
 
 

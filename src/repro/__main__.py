@@ -6,19 +6,64 @@ Examples::
     python -m repro byzantine --n 16 --f 2 --strategy withholder
     python -m repro table1 --n 32 --f 4
     python -m repro lowerbound --n 48
+    python -m repro sweep --driver crash --n 16,32,64 --seeds 0-4 --jobs 4
+    python -m repro runs --export md
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from random import Random
 
 
-def _print_rows(rows: list[dict]) -> None:
-    from repro.analysis.tables import plain_table
+def _print_rows(rows: list[dict], fmt: str = "plain") -> None:
+    from repro.analysis.tables import markdown_table, plain_table
 
-    print(plain_table(rows))
+    if fmt == "json":
+        print(json.dumps(rows, indent=2))
+    elif fmt == "md":
+        print(markdown_table(rows))
+    else:
+        print(plain_table(rows))
+
+
+def parse_int_list(text: str) -> list[int]:
+    """``"16,32,64"`` and range syntax ``"0-4"`` (mixable): ints, in order.
+
+    >>> parse_int_list("16,32,64")
+    [16, 32, 64]
+    >>> parse_int_list("0-2,7")
+    [0, 1, 2, 7]
+    """
+    values: list[int] = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        first, dash, last = part.partition("-")
+        if dash and first:
+            values.extend(range(int(first), int(last) + 1))
+        else:
+            values.append(int(part))
+    if not values:
+        raise ValueError(f"no integers in {text!r}")
+    return values
+
+
+def _parse_params(pairs: list[str]) -> dict:
+    """``key=value`` strings to a dict, JSON-decoding each value."""
+    params = {}
+    for pair in pairs:
+        key, equals, raw = pair.partition("=")
+        if not equals:
+            raise SystemExit(f"--param needs key=value, got {pair!r}")
+        try:
+            params[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            params[key] = raw
+    return params
 
 
 def cmd_crash(args: argparse.Namespace) -> int:
@@ -52,7 +97,7 @@ def cmd_table1(args: argparse.Namespace) -> int:
     rows = table1_rows(args.n, args.f, seed=args.seed)
     keep = ("algorithm", "rounds", "messages", "bits", "unique", "strong")
     _print_rows([{k: row.get(k) for k in keep} for row in rows])
-    return 0
+    return 0 if all(row["unique"] and row["strong"] for row in rows) else 1
 
 
 def cmd_lowerbound(args: argparse.Namespace) -> int:
@@ -75,6 +120,120 @@ def cmd_lowerbound(args: argparse.Namespace) -> int:
     _print_rows(rows)
     print(f"floor for success >= 3/4: "
           f"{minimum_messages_for_success(args.n, 0.75)} messages (n - 1)")
+    return 0
+
+
+def _open_store(args):
+    from repro.engine.store import RunStore, default_store_path
+
+    if getattr(args, "no_store", False):
+        return None
+    return RunStore(args.store if args.store else default_store_path())
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.engine.pool import run_requests
+    from repro.engine.sweeps import SweepSpec
+
+    try:
+        spec = SweepSpec.make(
+            args.driver,
+            parse_int_list(args.n),
+            parse_int_list(args.seeds),
+            f=args.f,
+            **_parse_params(args.param),
+        )
+        requests = spec.requests()
+    except (TypeError, ValueError) as error:
+        raise SystemExit(f"python -m repro sweep: error: {error}")
+    store = _open_store(args)
+    try:
+        results = run_requests(
+            requests, jobs=args.jobs, store=store,
+            timeout=args.timeout,
+        )
+    finally:
+        if store is not None:
+            store.close()
+
+    ok_rows = [r.row for r in results if r.ok]
+    _print_rows(ok_rows, args.format)
+    cached = sum(r.cached for r in results)
+    failed = [r for r in results if not r.ok]
+    print(
+        f"\n{len(results)} runs: {len(results) - cached - len(failed)} "
+        f"executed, {cached} cached, {len(failed)} failed"
+        + (f"  [store: {store.path}]" if store is not None else ""),
+        file=sys.stderr,
+    )
+    for result in failed:
+        print(f"FAILED {result.request.describe()}\n{result.error}",
+              file=sys.stderr)
+    checks_ok = all(
+        row.get("unique", True) and row.get("strong", True)
+        for row in ok_rows
+    )
+    return 0 if not failed and checks_ok else 1
+
+
+def cmd_runs(args: argparse.Namespace) -> int:
+    from datetime import datetime, timezone
+
+    store = _open_store(args)
+    try:
+        stored = store.query(driver=args.driver, n=args.n,
+                             status=args.status, limit=args.limit)
+        if args.export == "json":
+            print(json.dumps(
+                [
+                    {
+                        "hash": run.hash, "driver": run.driver, "n": run.n,
+                        "f": run.f, "seed": run.seed, "params": run.params,
+                        "code_version": run.code_version,
+                        "status": run.status, "row": run.row,
+                        "error": run.error, "elapsed": run.elapsed,
+                        "created": run.created,
+                        "ledger": dict(zip(
+                            ("messages_per_round", "bits_per_round"),
+                            store.ledger(run.hash),
+                        )) if args.ledgers else None,
+                    }
+                    for run in stored
+                ],
+                indent=2,
+            ))
+        elif args.export == "md":
+            _print_rows(
+                [run.row for run in stored if run.ok and run.row], "md"
+            )
+        else:
+            rows = [
+                {
+                    "hash": run.hash[:10],
+                    "driver": run.driver,
+                    "n": run.n,
+                    "f": run.f,
+                    "seed": run.seed,
+                    "status": run.status,
+                    "rounds": (run.row or {}).get("rounds"),
+                    "messages": (run.row or {}).get("messages"),
+                    "bits": (run.row or {}).get("bits"),
+                    "elapsed_s": round(run.elapsed or 0.0, 3),
+                    "created": datetime.fromtimestamp(
+                        run.created, tz=timezone.utc
+                    ).strftime("%Y-%m-%d %H:%M:%S"),
+                }
+                for run in stored
+            ]
+            _print_rows(rows)
+            stats = store.stats()
+            print(
+                f"\n{stats['ok']} ok / {stats['failed']} failed of "
+                f"{stats['total']} stored runs  [store: {stats['path']}]",
+                file=sys.stderr,
+            )
+    finally:
+        store.close()
     return 0
 
 
@@ -123,12 +282,66 @@ def build_parser() -> argparse.ArgumentParser:
     lowerbound.add_argument("--seed", type=int, default=1)
     lowerbound.set_defaults(func=cmd_lowerbound)
 
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a parallel, store-backed sweep over n x seeds",
+    )
+    sweep.add_argument(
+        "--driver", default="crash",
+        choices=["crash", "byzantine", "obg", "gossip", "balls",
+                 "reelection"],
+        help="named summary driver from repro.engine.sweeps",
+    )
+    sweep.add_argument("--n", default="16,32,64",
+                       help="comma/range list of n values, e.g. 16,32,64")
+    sweep.add_argument("--seeds", default="0-4",
+                       help="comma/range list of seeds, e.g. 0-4 or 1,3,5")
+    sweep.add_argument("--f", default="0",
+                       help="fault budget as an expression in n, "
+                            "e.g. 0, n//8, 'max(1, n//4)'")
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (1 = serial, in-process)")
+    sweep.add_argument("--timeout", type=float, default=None,
+                       help="per-task seconds before a chunk is failed")
+    sweep.add_argument("--param", action="append", default=[],
+                       metavar="KEY=VALUE",
+                       help="extra driver keyword (JSON value); repeatable")
+    sweep.add_argument("--store", default=None,
+                       help="run-store path (default $REPRO_STORE or "
+                            ".repro/runs.sqlite)")
+    sweep.add_argument("--no-store", action="store_true",
+                       help="run without reading or writing the store")
+    sweep.add_argument("--format", choices=["plain", "md", "json"],
+                       default="plain")
+    sweep.set_defaults(func=cmd_sweep)
+
+    runs = sub.add_parser(
+        "runs", help="list/query/export cached runs from the store"
+    )
+    runs.add_argument("--driver", default=None)
+    runs.add_argument("--n", type=int, default=None)
+    runs.add_argument("--status", choices=["ok", "failed"], default=None)
+    runs.add_argument("--limit", type=int, default=None)
+    runs.add_argument("--export", choices=["plain", "md", "json"],
+                      default="plain")
+    runs.add_argument("--ledgers", action="store_true",
+                      help="include per-round ledgers in --export json")
+    runs.add_argument("--store", default=None,
+                      help="run-store path (default $REPRO_STORE or "
+                           ".repro/runs.sqlite)")
+    runs.set_defaults(func=cmd_runs)
+
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early; not an error.
+        sys.stderr.close()
+        return 0
 
 
 if __name__ == "__main__":

@@ -49,6 +49,19 @@ def sample_uids(n: int, namespace: int, rng: Random) -> list[int]:
     return sorted(rng.sample(range(1, namespace + 1), n))
 
 
+def attach_ledgers(row: dict, result: ExecutionResult,
+                   include_rounds: bool) -> dict:
+    """Append the per-round message/bit ledgers to a summary row.
+
+    The engine (:mod:`repro.engine`) pops these into its ``ledgers``
+    table; appended last so table columns stay scalar and stable.
+    """
+    if include_rounds:
+        row["messages_per_round"] = list(result.metrics.messages_per_round)
+        row["bits_per_round"] = list(result.metrics.bits_per_round)
+    return row
+
+
 def check_renaming(
     result: ExecutionResult, n: int, *, order_preserving: bool = False
 ) -> dict[str, bool]:
@@ -90,6 +103,7 @@ def crash_run_summary(
     adversary: Optional[str] = "hunter",
     namespace: Optional[int] = None,
     election_constant: float = EXPERIMENT_ELECTION_CONSTANT,
+    include_rounds: bool = False,
 ) -> dict:
     """One crash-algorithm execution, summarized for sweeps."""
     namespace = namespace or default_namespace(n)
@@ -104,7 +118,7 @@ def crash_run_summary(
         seed=seed + 2,
     )
     checks = check_renaming(result, n)
-    return {
+    return attach_ledgers({
         "algorithm": "crash-renaming (this work)",
         "n": n,
         "f_budget": f,
@@ -114,7 +128,7 @@ def crash_run_summary(
         "bits": result.metrics.correct_bits,
         "max_message_bits": result.metrics.max_message_bits,
         **checks,
-    }
+    }, result, include_rounds)
 
 
 def sweep_crash(
@@ -123,15 +137,35 @@ def sweep_crash(
     seeds: Sequence[int],
     **kwargs,
 ) -> list[dict]:
-    rows = []
-    for n in n_values:
-        for seed in seeds:
-            rows.append(crash_run_summary(n, f_of_n(n), seed, **kwargs))
-    return rows
+    """Crash sweep over ``n_values x seeds`` — thin engine wrapper.
+
+    For parallel or cached execution, build the requests yourself and
+    call :func:`repro.engine.run_requests` with ``jobs``/``store``.
+    """
+    from repro.engine.pool import run_requests
+    from repro.engine.sweeps import RunRequest
+
+    requests = [
+        RunRequest.make("crash", n, f_of_n(n), seed, **kwargs)
+        for n in n_values
+        for seed in seeds
+    ]
+    return rows_or_raise(run_requests(requests))
+
+
+def rows_or_raise(results) -> list[dict]:
+    """Rows of engine results, re-raising the first recorded failure."""
+    for result in results:
+        if not result.ok:
+            raise RuntimeError(
+                f"{result.request.describe()} failed:\n{result.error}"
+            )
+    return [result.row for result in results]
 
 
 def obg_run_summary(n: int, f: int, seed: int,
-                    namespace: Optional[int] = None) -> dict:
+                    namespace: Optional[int] = None,
+                    include_rounds: bool = False) -> dict:
     namespace = namespace or default_namespace(n)
     rng = Random(seed)
     uids = sample_uids(n, namespace, rng)
@@ -142,7 +176,7 @@ def obg_run_summary(n: int, f: int, seed: int,
         seed=seed + 2,
     )
     checks = check_renaming(result, n)
-    return {
+    return attach_ledgers({
         "algorithm": "all-to-all halving [34]-style",
         "n": n,
         "f_budget": f,
@@ -152,12 +186,13 @@ def obg_run_summary(n: int, f: int, seed: int,
         "bits": result.metrics.correct_bits,
         "max_message_bits": result.metrics.max_message_bits,
         **checks,
-    }
+    }, result, include_rounds)
 
 
 def gossip_run_summary(n: int, f: int, seed: int,
                        namespace: Optional[int] = None,
-                       assumed_faults: Optional[int] = None) -> dict:
+                       assumed_faults: Optional[int] = None,
+                       include_rounds: bool = False) -> dict:
     namespace = namespace or default_namespace(n)
     rng = Random(seed)
     uids = sample_uids(n, namespace, rng)
@@ -169,7 +204,7 @@ def gossip_run_summary(n: int, f: int, seed: int,
         seed=seed + 2,
     )
     checks = check_renaming(result, n, order_preserving=True)
-    return {
+    return attach_ledgers({
         "algorithm": "full-information gossip [20]-style",
         "n": n,
         "f_budget": f,
@@ -179,11 +214,12 @@ def gossip_run_summary(n: int, f: int, seed: int,
         "bits": result.metrics.correct_bits,
         "max_message_bits": result.metrics.max_message_bits,
         **checks,
-    }
+    }, result, include_rounds)
 
 
 def balls_run_summary(n: int, f: int, seed: int,
-                      namespace: Optional[int] = None) -> dict:
+                      namespace: Optional[int] = None,
+                      include_rounds: bool = False) -> dict:
     namespace = namespace or default_namespace(n)
     rng = Random(seed)
     uids = sample_uids(n, namespace, rng)
@@ -194,7 +230,7 @@ def balls_run_summary(n: int, f: int, seed: int,
         seed=seed + 2,
     )
     checks = check_renaming(result, n)
-    return {
+    return attach_ledgers({
         "algorithm": "balls-into-slots [3]-style",
         "n": n,
         "f_budget": f,
@@ -204,7 +240,39 @@ def balls_run_summary(n: int, f: int, seed: int,
         "bits": result.metrics.correct_bits,
         "max_message_bits": result.metrics.max_message_bits,
         **checks,
-    }
+    }, result, include_rounds)
+
+
+def reelection_run_summary(n: int, f: int, seed: int = 5,
+                           include_rounds: bool = False) -> dict:
+    """Committee re-election ablation (report section F8).
+
+    Runs the crash algorithm under a :class:`CommitteeHunter` with
+    budget ``f`` and reports how far the re-election escalation ``p``
+    climbed and how many nodes were ever elected (Lemmas 2.4–2.7).
+    """
+    namespace = default_namespace(n)
+    uids = sample_uids(n, namespace, Random(seed))
+    result = run_crash_renaming(
+        uids, namespace=namespace,
+        adversary=(CommitteeHunter(f, Random(seed + 1)) if f else None),
+        config=CrashRenamingConfig(
+            election_constant=EXPERIMENT_ELECTION_CONSTANT),
+        seed=seed + 2,
+    )
+    survivors = [p for i, p in enumerate(result.processes)
+                 if i not in result.crashed]
+    p_values = [p.final_p for p in survivors]
+    return attach_ledgers({
+        "algorithm": "crash re-election ablation",
+        "n": n,
+        "f_budget": f,
+        "crashed": len(result.crashed),
+        "max_p": max(p_values),
+        "p_spread": max(p_values) - min(p_values),
+        "ever_elected": sum(p.ever_elected for p in result.processes),
+        "messages": result.metrics.correct_messages,
+    }, result, include_rounds)
 
 
 # ---------------------------------------------------------------------------
@@ -238,6 +306,7 @@ def byzantine_run_summary(
     f_assumed: Optional[int] = None,
     full_committee: bool = False,
     consensus_iterations: int = 10,
+    include_rounds: bool = False,
 ) -> dict:
     """One Byzantine-algorithm execution, summarized for sweeps."""
     namespace = namespace or default_namespace(n)
@@ -274,7 +343,7 @@ def byzantine_run_summary(
          if getattr(p, "was_committee", False) and not p.byzantine),
         default=0,
     )
-    return {
+    return attach_ledgers({
         "algorithm": (
             "byzantine-renaming, full committee"
             if full_committee else "byzantine-renaming (this work)"
@@ -292,7 +361,7 @@ def byzantine_run_summary(
             correct_outputs[a] < correct_outputs[b]
             for a, b in zip(ordered_uids, ordered_uids[1:])
         ),
-    }
+    }, result, include_rounds)
 
 
 def sweep_byzantine(
@@ -301,11 +370,16 @@ def sweep_byzantine(
     seeds: Sequence[int],
     **kwargs,
 ) -> list[dict]:
-    rows = []
-    for n in n_values:
-        for seed in seeds:
-            rows.append(byzantine_run_summary(n, f_of_n(n), seed, **kwargs))
-    return rows
+    """Byzantine sweep over ``n_values x seeds`` — thin engine wrapper."""
+    from repro.engine.pool import run_requests
+    from repro.engine.sweeps import RunRequest
+
+    requests = [
+        RunRequest.make("byzantine", n, f_of_n(n), seed, **kwargs)
+        for n in n_values
+        for seed in seeds
+    ]
+    return rows_or_raise(run_requests(requests))
 
 
 # ---------------------------------------------------------------------------
@@ -315,20 +389,10 @@ def sweep_byzantine(
 def table1_rows(n: int, f: int, seed: int = 0) -> list[dict]:
     """One measured row per algorithm family of Table 1.
 
-    The Byzantine rows use ``f_byz = min(f, 2)`` corrupted nodes:
-    each withholder inflates the divide-and-conquer work by ``log2 N``
-    segments (Lemma 3.10), so a small ``f`` keeps the table affordable
-    while still exercising the adversarial path; the dedicated F5/F9
-    sweeps measure the growth in ``f`` itself."""
-    f_byz = min(f, 2, max((n - 1) // 3, 0))
-    rows = [
-        crash_run_summary(n, f, seed),
-        obg_run_summary(n, f, seed),
-        balls_run_summary(n, f, seed),
-        gossip_run_summary(n, f, seed),
-        byzantine_run_summary(n, f_byz, seed, strategy="withholder"),
-        byzantine_run_summary(
-            n, f_byz, seed, strategy="withholder", full_committee=True,
-        ),
-    ]
-    return rows
+    Thin wrapper over the engine's serial path; see
+    :func:`repro.engine.sweeps.table1_requests` for the row inventory
+    and the ``f_byz`` rationale."""
+    from repro.engine.pool import run_requests
+    from repro.engine.sweeps import table1_requests
+
+    return rows_or_raise(run_requests(table1_requests(n, f, seed)))

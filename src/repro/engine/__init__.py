@@ -1,0 +1,59 @@
+"""Parallel sweep engine with a persistent, content-addressed run store.
+
+Three layers, each usable on its own:
+
+``repro.engine.store``
+    A SQLite-backed (stdlib ``sqlite3``, WAL mode) store that
+    content-addresses every protocol execution by a canonical hash of
+    ``(driver, n, f, seed, params, code_version)`` and persists the
+    summary row plus the per-round message/bit ledgers.  Re-running a
+    sweep whose runs are already stored performs zero executions.
+
+``repro.engine.sweeps``
+    Declarative :class:`SweepSpec` / :class:`RunRequest` descriptions of
+    sweeps and the named-driver registry that maps ``"crash"``,
+    ``"byzantine"``, ``"obg"``, ``"gossip"``, ``"balls"``,
+    ``"reelection"`` to the summary functions in
+    :mod:`repro.analysis.experiments`.
+
+``repro.engine.pool``
+    :func:`run_requests` — the executor.  Serial in-process for
+    ``jobs=1``; a ``ProcessPoolExecutor`` with chunked submission,
+    per-task timeouts, and crash isolation for ``jobs>1``.  Results come
+    back in request order, so parallel output is byte-identical to
+    serial.
+
+The CLI front ends are ``python -m repro sweep`` and
+``python -m repro runs``; ``benchmarks/report.py`` routes every
+protocol execution through this engine.
+"""
+
+from repro.engine.pool import RunResult, run_requests
+from repro.engine.store import RunStore, code_version, default_store_path, run_hash
+from repro.engine.sweeps import (
+    DRIVERS,
+    RunRequest,
+    SweepSpec,
+    driver_names,
+    evaluate_f,
+    execute_request,
+    register_driver,
+    table1_requests,
+)
+
+__all__ = [
+    "DRIVERS",
+    "RunRequest",
+    "RunResult",
+    "RunStore",
+    "SweepSpec",
+    "code_version",
+    "default_store_path",
+    "driver_names",
+    "evaluate_f",
+    "execute_request",
+    "register_driver",
+    "run_hash",
+    "run_requests",
+    "table1_requests",
+]

@@ -1,0 +1,213 @@
+"""Parallel sweep execution: process pool, crash isolation, caching.
+
+:func:`run_requests` is the engine's single entry point.  Guarantees:
+
+* **Deterministic order** — results come back in request order whatever
+  the worker count, so parallel output is byte-identical to serial.
+* **Crash isolation** — a driver that raises produces a ``failed``
+  result (with the traceback) instead of aborting the sweep; a wedged
+  worker chunk is timed out and recorded as failed likewise.
+* **Caching** — with a :class:`~repro.engine.store.RunStore`, every
+  ``ok`` run is persisted under its content hash and served from the
+  store on the next invocation with zero executions; failed runs are
+  recorded but retried.
+* **Deduplication** — identical requests inside one call execute once.
+
+``jobs=1`` runs everything in-process (no pool, no pickling); ``jobs>1``
+uses a ``ProcessPoolExecutor`` with chunked task submission to amortize
+dispatch overhead on the many-small-runs workloads typical of sweeps.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.engine.store import RunStore, code_version, run_hash
+from repro.engine.sweeps import RunRequest, execute_request
+
+
+@dataclass
+class RunResult:
+    """Outcome of one request: a fresh execution or a store hit."""
+
+    request: RunRequest
+    status: str  # "ok" | "failed"
+    row: Optional[dict] = None
+    error: Optional[str] = None
+    elapsed: float = 0.0
+    cached: bool = False
+    messages_per_round: Optional[list[int]] = None
+    bits_per_round: Optional[list[int]] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+def _run_one(request: RunRequest) -> RunResult:
+    """Execute one request, converting any driver exception to ``failed``."""
+    start = time.perf_counter()
+    try:
+        row, messages_per_round, bits_per_round = execute_request(request)
+        return RunResult(
+            request=request, status="ok", row=row,
+            elapsed=time.perf_counter() - start,
+            messages_per_round=messages_per_round,
+            bits_per_round=bits_per_round,
+        )
+    except Exception:
+        return RunResult(
+            request=request, status="failed",
+            error=traceback.format_exc(limit=16),
+            elapsed=time.perf_counter() - start,
+        )
+
+
+def _worker(batch: list[tuple[int, RunRequest]]) -> list[tuple[int, RunResult]]:
+    """Pool entry point: run one chunk of ``(index, request)`` tasks."""
+    return [(index, _run_one(request)) for index, request in batch]
+
+
+def _chunk(tasks: list, size: int) -> list[list]:
+    return [tasks[start:start + size] for start in range(0, len(tasks), size)]
+
+
+def default_chunksize(pending: int, jobs: int) -> int:
+    """Roughly four chunks per worker: amortizes dispatch, keeps the
+    pool load-balanced when per-run cost varies across ``n``."""
+    return max(1, pending // max(1, jobs * 4))
+
+
+def run_requests(
+    requests: Sequence[RunRequest],
+    *,
+    jobs: int = 1,
+    store: Optional[RunStore] = None,
+    timeout: Optional[float] = None,
+    chunksize: Optional[int] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
+) -> list[RunResult]:
+    """Execute ``requests``; return results in request order.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``1`` executes serially in-process.
+    store:
+        Optional run store.  ``ok`` hits are served without executing;
+        fresh results (including failures) are written back.
+    timeout:
+        Per-task budget in seconds (parallel path only).  A chunk is
+        allowed ``timeout * len(chunk)``; on expiry its unfinished tasks
+        are recorded as failed and the sweep carries on.
+    chunksize:
+        Tasks per pool submission; default :func:`default_chunksize`.
+    progress:
+        Optional ``progress(done, total)`` callback, called after the
+        cache scan and after each completed chunk.
+    """
+    requests = list(requests)
+    results: list[Optional[RunResult]] = [None] * len(requests)
+    version = code_version()
+    hashes = [
+        run_hash(r.driver, r.n, r.f, r.seed, r.params, version)
+        for r in requests
+    ]
+
+    # Cache scan: serve ok rows straight from the store.
+    if store is not None:
+        for index, hash_ in enumerate(hashes):
+            stored = store.get(hash_)
+            if stored is not None and stored.ok:
+                messages_per_round, bits_per_round = store.ledger(hash_)
+                results[index] = RunResult(
+                    request=requests[index], status="ok", row=stored.row,
+                    elapsed=stored.elapsed or 0.0, cached=True,
+                    messages_per_round=messages_per_round or None,
+                    bits_per_round=bits_per_round or None,
+                )
+
+    pending = [i for i, result in enumerate(results) if result is None]
+
+    # Dedup: identical requests (same content hash) execute once.
+    leaders: dict[str, int] = {}
+    followers: dict[int, list[int]] = {}
+    unique_pending = []
+    for index in pending:
+        leader = leaders.setdefault(hashes[index], index)
+        if leader == index:
+            unique_pending.append(index)
+        else:
+            followers.setdefault(leader, []).append(index)
+
+    total = len(requests)
+    done = total - len(pending)
+    if progress is not None:
+        progress(done, total)
+
+    def settle(index: int, result: RunResult) -> None:
+        nonlocal done
+        for target in (index, *followers.get(index, ())):
+            results[target] = RunResult(
+                request=requests[target], status=result.status,
+                row=result.row, error=result.error, elapsed=result.elapsed,
+                cached=False,
+                messages_per_round=result.messages_per_round,
+                bits_per_round=result.bits_per_round,
+            )
+            if store is not None:
+                request = requests[target]
+                store.put(
+                    hashes[target],
+                    driver=request.driver, n=request.n, f=request.f,
+                    seed=request.seed, params=request.params_dict(),
+                    version=version, status=result.status, row=result.row,
+                    error=result.error, elapsed=result.elapsed,
+                    messages_per_round=result.messages_per_round,
+                    bits_per_round=result.bits_per_round,
+                )
+            done += 1
+
+    if jobs <= 1 or len(unique_pending) <= 1:
+        for index in unique_pending:
+            settle(index, _run_one(requests[index]))
+            if progress is not None:
+                progress(done, total)
+    elif unique_pending:
+        size = chunksize or default_chunksize(len(unique_pending), jobs)
+        chunks = _chunk([(i, requests[i]) for i in unique_pending], size)
+        with ProcessPoolExecutor(max_workers=min(jobs, len(chunks))) as pool:
+            futures = [pool.submit(_worker, chunk) for chunk in chunks]
+            for chunk, future in zip(chunks, futures):
+                budget = None if timeout is None else timeout * len(chunk)
+                try:
+                    outcomes = dict(future.result(timeout=budget))
+                except FutureTimeoutError:
+                    future.cancel()
+                    outcomes = {
+                        index: RunResult(
+                            request=request, status="failed",
+                            error=(f"timed out: chunk exceeded {budget:.1f}s"
+                                   f" ({len(chunk)} tasks)"),
+                        )
+                        for index, request in chunk
+                    }
+                except Exception:  # BrokenProcessPool and kin
+                    outcomes = {
+                        index: RunResult(
+                            request=request, status="failed",
+                            error=traceback.format_exc(limit=8),
+                        )
+                        for index, request in chunk
+                    }
+                for index, _request in chunk:
+                    settle(index, outcomes[index])
+                if progress is not None:
+                    progress(done, total)
+
+    return results  # type: ignore[return-value]

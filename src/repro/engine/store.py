@@ -1,0 +1,317 @@
+"""Persistent, content-addressed run store on stdlib SQLite.
+
+Every protocol execution is identified by a canonical SHA-256 hash of
+``(driver, n, f, seed, params, code_version)``.  ``params`` is the
+driver's keyword configuration restricted to JSON scalars so the key is
+reproducible across processes and sessions; ``code_version`` is a hash
+of the ``repro`` package sources, so editing any algorithm or the cost
+model automatically invalidates old measurements instead of silently
+serving stale rows.
+
+Two tables:
+
+``runs``
+    One row per execution: the identity fields, status (``ok`` or
+    ``failed``), the JSON summary row, the error text for failed runs,
+    and wall-clock timing.
+
+``ledgers``
+    The per-round ``(messages, bits)`` ledger of each stored run —
+    the raw material for round-resolved plots without re-executing.
+
+The store is written only by the coordinating process (workers return
+results over the pool), so WAL mode is plenty for concurrent *readers*
+such as a ``python -m repro runs`` session watching a sweep fill in.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sqlite3
+import time
+from dataclasses import dataclass
+from functools import lru_cache
+from pathlib import Path
+from typing import Optional, Sequence
+
+#: Environment variable overriding the default store location.
+STORE_ENV = "REPRO_STORE"
+
+#: Default store path, relative to the current working directory.
+DEFAULT_STORE = ".repro/runs.sqlite"
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS runs (
+    hash         TEXT PRIMARY KEY,
+    driver       TEXT NOT NULL,
+    n            INTEGER NOT NULL,
+    f            INTEGER NOT NULL,
+    seed         INTEGER NOT NULL,
+    params       TEXT NOT NULL,
+    code_version TEXT NOT NULL,
+    status       TEXT NOT NULL CHECK (status IN ('ok', 'failed')),
+    row          TEXT,
+    error        TEXT,
+    elapsed      REAL,
+    created      REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_runs_driver ON runs (driver, n, f, seed);
+CREATE INDEX IF NOT EXISTS idx_runs_created ON runs (created);
+CREATE TABLE IF NOT EXISTS ledgers (
+    run_hash TEXT NOT NULL REFERENCES runs (hash) ON DELETE CASCADE,
+    round    INTEGER NOT NULL,
+    messages INTEGER NOT NULL,
+    bits     INTEGER NOT NULL,
+    PRIMARY KEY (run_hash, round)
+);
+"""
+
+
+def default_store_path() -> Path:
+    """``$REPRO_STORE`` if set, else ``.repro/runs.sqlite`` under cwd."""
+    return Path(os.environ.get(STORE_ENV, DEFAULT_STORE))
+
+
+@lru_cache(maxsize=1)
+def code_version() -> str:
+    """A short hash of every ``.py`` source in the ``repro`` package.
+
+    Any change to the algorithms, the cost model, or the drivers yields
+    a new version, so cached measurements never outlive the code that
+    produced them.
+    """
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()[:16]
+
+
+def canonical_json(value: object) -> str:
+    """Deterministic JSON: sorted keys, no whitespace variance."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def run_hash(
+    driver: str,
+    n: int,
+    f: int,
+    seed: int,
+    params: object = (),
+    version: Optional[str] = None,
+) -> str:
+    """The content address of one execution."""
+    key = canonical_json(
+        {
+            "driver": driver,
+            "n": n,
+            "f": f,
+            "seed": seed,
+            "params": dict(params) if not isinstance(params, dict) else params,
+            "code_version": version if version is not None else code_version(),
+        }
+    )
+    return hashlib.sha256(key.encode()).hexdigest()
+
+
+@dataclass
+class StoredRun:
+    """One persisted execution, decoded from the ``runs`` table."""
+
+    hash: str
+    driver: str
+    n: int
+    f: int
+    seed: int
+    params: dict
+    code_version: str
+    status: str
+    row: Optional[dict]
+    error: Optional[str]
+    elapsed: Optional[float]
+    created: float
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+class RunStore:
+    """SQLite-backed run cache.  Open with a path; close when done.
+
+    Usable as a context manager::
+
+        with RunStore(".repro/runs.sqlite") as store:
+            store.get(some_hash)
+    """
+
+    def __init__(self, path: os.PathLike | str):
+        self.path = Path(path)
+        if str(self.path) != ":memory:":
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._conn = sqlite3.connect(str(self.path))
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.execute("PRAGMA foreign_keys=ON")
+        self._conn.executescript(_SCHEMA)
+        self._conn.commit()
+
+    # -- lifecycle ----------------------------------------------------
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "RunStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- writes -------------------------------------------------------
+
+    def put(
+        self,
+        hash_: str,
+        *,
+        driver: str,
+        n: int,
+        f: int,
+        seed: int,
+        params: object,
+        version: str,
+        status: str,
+        row: Optional[dict] = None,
+        error: Optional[str] = None,
+        elapsed: Optional[float] = None,
+        messages_per_round: Optional[Sequence[int]] = None,
+        bits_per_round: Optional[Sequence[int]] = None,
+    ) -> None:
+        """Insert or replace one run (and its per-round ledgers)."""
+        params_map = dict(params) if not isinstance(params, dict) else params
+        with self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO runs"
+                " (hash, driver, n, f, seed, params, code_version,"
+                "  status, row, error, elapsed, created)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    hash_, driver, n, f, seed,
+                    canonical_json(params_map), version, status,
+                    # Row keys keep insertion order (not canonical_json):
+                    # table columns come from the first row, so a cached
+                    # row must render byte-identically to a fresh one.
+                    json.dumps(row) if row is not None else None,
+                    error, elapsed, time.time(),
+                ),
+            )
+            self._conn.execute("DELETE FROM ledgers WHERE run_hash = ?",
+                               (hash_,))
+            if messages_per_round is not None and bits_per_round is not None:
+                self._conn.executemany(
+                    "INSERT INTO ledgers (run_hash, round, messages, bits)"
+                    " VALUES (?, ?, ?, ?)",
+                    [
+                        (hash_, round_no + 1, messages, bits)
+                        for round_no, (messages, bits) in enumerate(
+                            zip(messages_per_round, bits_per_round)
+                        )
+                    ],
+                )
+
+    def delete(self, hash_: str) -> None:
+        with self._conn:
+            self._conn.execute("DELETE FROM ledgers WHERE run_hash = ?",
+                               (hash_,))
+            self._conn.execute("DELETE FROM runs WHERE hash = ?", (hash_,))
+
+    def clear(self) -> None:
+        with self._conn:
+            self._conn.execute("DELETE FROM ledgers")
+            self._conn.execute("DELETE FROM runs")
+
+    # -- reads --------------------------------------------------------
+
+    @staticmethod
+    def _decode(record: tuple) -> StoredRun:
+        (hash_, driver, n, f, seed, params, version, status, row, error,
+         elapsed, created) = record
+        return StoredRun(
+            hash=hash_, driver=driver, n=n, f=f, seed=seed,
+            params=json.loads(params), code_version=version, status=status,
+            row=json.loads(row) if row is not None else None,
+            error=error, elapsed=elapsed, created=created,
+        )
+
+    _COLUMNS = ("hash, driver, n, f, seed, params, code_version, status,"
+                " row, error, elapsed, created")
+
+    def get(self, hash_: str) -> Optional[StoredRun]:
+        cursor = self._conn.execute(
+            f"SELECT {self._COLUMNS} FROM runs WHERE hash = ?", (hash_,)
+        )
+        record = cursor.fetchone()
+        return self._decode(record) if record else None
+
+    def ledger(self, hash_: str) -> tuple[list[int], list[int]]:
+        """``(messages_per_round, bits_per_round)`` of one stored run."""
+        cursor = self._conn.execute(
+            "SELECT messages, bits FROM ledgers WHERE run_hash = ?"
+            " ORDER BY round", (hash_,)
+        )
+        records = cursor.fetchall()
+        return ([m for m, _ in records], [b for _, b in records])
+
+    def query(
+        self,
+        *,
+        driver: Optional[str] = None,
+        n: Optional[int] = None,
+        f: Optional[int] = None,
+        seed: Optional[int] = None,
+        status: Optional[str] = None,
+        current_version_only: bool = False,
+        limit: Optional[int] = None,
+    ) -> list[StoredRun]:
+        """Stored runs matching the given filters, oldest first."""
+        clauses, values = [], []
+        for column, value in (("driver", driver), ("n", n), ("f", f),
+                              ("seed", seed), ("status", status)):
+            if value is not None:
+                clauses.append(f"{column} = ?")
+                values.append(value)
+        if current_version_only:
+            clauses.append("code_version = ?")
+            values.append(code_version())
+        sql = f"SELECT {self._COLUMNS} FROM runs"
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        sql += " ORDER BY created, hash"
+        if limit is not None:
+            sql += " LIMIT ?"
+            values.append(limit)
+        return [self._decode(r) for r in self._conn.execute(sql, values)]
+
+    def stats(self) -> dict:
+        """Aggregate counts for the CLI footer."""
+        total, ok, failed = self._conn.execute(
+            "SELECT COUNT(*),"
+            " SUM(CASE WHEN status = 'ok' THEN 1 ELSE 0 END),"
+            " SUM(CASE WHEN status = 'failed' THEN 1 ELSE 0 END)"
+            " FROM runs"
+        ).fetchone()
+        drivers = [d for (d,) in self._conn.execute(
+            "SELECT DISTINCT driver FROM runs ORDER BY driver")]
+        return {
+            "total": total or 0,
+            "ok": ok or 0,
+            "failed": failed or 0,
+            "drivers": drivers,
+            "path": str(self.path),
+        }

@@ -1,0 +1,233 @@
+"""Tests for the parallel sweep engine and its SQLite run store."""
+
+import json
+
+import pytest
+
+from repro.analysis.experiments import crash_run_summary
+from repro.analysis.tables import plain_table
+from repro.engine import pool as engine_pool
+from repro.engine.pool import run_requests
+from repro.engine.store import RunStore, code_version, run_hash
+from repro.engine.sweeps import (
+    DRIVERS,
+    RunRequest,
+    SweepSpec,
+    driver_names,
+    evaluate_f,
+    register_driver,
+    table1_requests,
+)
+from repro.__main__ import main, parse_int_list
+
+SMALL = SweepSpec.make("crash", [6, 8], [0, 1], f="n//4")
+
+
+@pytest.fixture
+def store(tmp_path):
+    with RunStore(tmp_path / "runs.sqlite") as opened:
+        yield opened
+
+
+class TestRequests:
+    def test_params_canonicalized(self):
+        a = RunRequest.make("crash", 8, 1, 0, adversary="hunter", namespace=99)
+        b = RunRequest.make("crash", 8, 1, 0, namespace=99, adversary="hunter")
+        assert a == b
+        assert a.params == (("adversary", "hunter"), ("namespace", 99))
+
+    def test_non_scalar_params_rejected(self):
+        with pytest.raises(TypeError, match="JSON scalar"):
+            RunRequest.make("crash", 8, 1, 0, config={"nested": 1})
+
+    def test_spec_expands_cross_product(self):
+        requests = SMALL.requests()
+        assert [(r.n, r.f, r.seed) for r in requests] == [
+            (6, 1, 0), (6, 1, 1), (8, 2, 0), (8, 2, 1),
+        ]
+
+    def test_evaluate_f(self):
+        assert evaluate_f("0", 64) == 0
+        assert evaluate_f("n//8", 64) == 8
+        assert evaluate_f("max(1, n//4)", 2) == 1
+        assert evaluate_f("ceil(log2(n))", 9) == 4
+        with pytest.raises(ValueError, match="bad fault-budget"):
+            evaluate_f("__import__('os')", 4)
+
+    def test_driver_registry(self):
+        assert {"crash", "byzantine", "obg", "gossip", "balls",
+                "reelection"} <= set(driver_names())
+
+    def test_table1_requests_cover_all_families(self):
+        requests = table1_requests(10, 1, seed=1)
+        assert [r.driver for r in requests] == [
+            "crash", "obg", "balls", "gossip", "byzantine", "byzantine",
+        ]
+
+
+class TestHashing:
+    def test_stable_and_sensitive(self):
+        request = RunRequest.make("crash", 8, 1, 0, adversary="hunter")
+        h = run_hash(request.driver, request.n, request.f, request.seed,
+                     request.params, "v1")
+        again = run_hash("crash", 8, 1, 0,
+                         (("adversary", "hunter"),), "v1")
+        assert h == again
+        assert h != run_hash("crash", 8, 1, 1,
+                             (("adversary", "hunter"),), "v1")
+        assert h != run_hash("crash", 8, 1, 0,
+                             (("adversary", "hunter"),), "v2")
+
+    def test_code_version_is_short_hex(self):
+        version = code_version()
+        assert len(version) == 16
+        int(version, 16)
+
+
+class TestStore:
+    def test_roundtrip_with_ledger(self, store):
+        store.put(
+            "h1", driver="crash", n=8, f=1, seed=0, params={"a": 1},
+            version="v", status="ok", row={"messages": 7, "ok": True},
+            elapsed=0.5, messages_per_round=[3, 4], bits_per_round=[30, 40],
+        )
+        stored = store.get("h1")
+        assert stored.ok
+        assert stored.row == {"messages": 7, "ok": True}
+        assert stored.params == {"a": 1}
+        assert store.ledger("h1") == ([3, 4], [30, 40])
+
+    def test_missing_is_none(self, store):
+        assert store.get("nope") is None
+        assert store.ledger("nope") == ([], [])
+
+    def test_failed_runs_and_query_filters(self, store):
+        store.put("ok1", driver="crash", n=8, f=1, seed=0, params={},
+                  version="v", status="ok", row={"messages": 1})
+        store.put("bad", driver="obg", n=8, f=1, seed=1, params={},
+                  version="v", status="failed", error="boom")
+        assert [r.hash for r in store.query(status="failed")] == ["bad"]
+        assert [r.hash for r in store.query(driver="crash")] == ["ok1"]
+        assert store.stats()["total"] == 2
+        assert store.stats()["failed"] == 1
+        assert store.query(status="failed")[0].error == "boom"
+
+
+class TestExecution:
+    def test_serial_matches_direct_driver_calls(self):
+        rows = [result.row for result in run_requests(SMALL.requests())]
+        direct = [crash_run_summary(n, n // 4, seed)
+                  for n in (6, 8) for seed in (0, 1)]
+        assert rows == direct
+
+    def test_parallel_rows_byte_identical_to_serial(self):
+        serial = run_requests(SMALL.requests())
+        parallel = run_requests(SMALL.requests(), jobs=2, chunksize=1)
+        assert [r.row for r in parallel] == [r.row for r in serial]
+        assert (plain_table([r.row for r in parallel])
+                == plain_table([r.row for r in serial]))
+        assert ([r.messages_per_round for r in parallel]
+                == [r.messages_per_round for r in serial])
+
+    def test_second_invocation_all_cache_hits(self, store, monkeypatch):
+        first = run_requests(SMALL.requests(), store=store)
+        assert all(not result.cached for result in first)
+
+        def explode(request):
+            raise AssertionError(f"executed {request} despite warm store")
+
+        monkeypatch.setattr(engine_pool, "execute_request", explode)
+        second = run_requests(SMALL.requests(), store=store)
+        assert all(result.cached for result in second)
+        assert [r.row for r in second] == [r.row for r in first]
+        assert ([r.messages_per_round for r in second]
+                == [r.messages_per_round for r in first])
+
+    def test_duplicate_requests_execute_once(self, monkeypatch):
+        calls = []
+        real = engine_pool.execute_request
+
+        def counting(request):
+            calls.append(request)
+            return real(request)
+
+        monkeypatch.setattr(engine_pool, "execute_request", counting)
+        request = RunRequest.make("crash", 6, 1, 0)
+        results = run_requests([request, request, request])
+        assert len(calls) == 1
+        assert [r.row for r in results] == [results[0].row] * 3
+
+    def test_driver_failure_isolated_and_recorded(self, store):
+        register_driver("boom", _boom_driver)
+        try:
+            requests = [RunRequest.make("crash", 6, 0, 0),
+                        RunRequest.make("boom", 6, 0, 0),
+                        RunRequest.make("crash", 6, 0, 1)]
+            results = run_requests(requests, store=store)
+            assert [r.status for r in results] == ["ok", "failed", "ok"]
+            assert "deliberate failure" in results[1].error
+            stored = store.query(status="failed")
+            assert len(stored) == 1 and stored[0].driver == "boom"
+            # Failed runs are recorded but not served as cache hits.
+            retry = run_requests(requests, store=store)
+            assert [r.cached for r in retry] == [True, False, True]
+        finally:
+            DRIVERS.pop("boom", None)
+
+
+def _boom_driver(n, f, seed, include_rounds=False, **params):
+    raise RuntimeError("deliberate failure")
+
+
+class TestCli:
+    def test_parse_int_list(self):
+        assert parse_int_list("16,32,64") == [16, 32, 64]
+        assert parse_int_list("0-4") == [0, 1, 2, 3, 4]
+        assert parse_int_list("0-2,7") == [0, 1, 2, 7]
+        with pytest.raises(ValueError):
+            parse_int_list(",")
+
+    def test_sweep_then_cached_rerun_then_runs(self, tmp_path, capsys):
+        store_path = str(tmp_path / "runs.sqlite")
+        argv = ["sweep", "--driver", "crash", "--n", "6,8", "--seeds",
+                "0-1", "--f", "n//4", "--store", store_path]
+        assert main(argv) == 0
+        first = capsys.readouterr()
+        assert "4 executed, 0 cached, 0 failed" in first.err
+
+        assert main(argv) == 0
+        second = capsys.readouterr()
+        assert "0 executed, 4 cached, 0 failed" in second.err
+        assert first.out == second.out
+
+        assert main(["runs", "--store", store_path]) == 0
+        listing = capsys.readouterr()
+        assert "crash" in listing.out
+        assert "4 ok / 0 failed of 4 stored runs" in listing.err
+
+    def test_runs_export_json(self, tmp_path, capsys):
+        store_path = str(tmp_path / "runs.sqlite")
+        main(["sweep", "--driver", "crash", "--n", "6", "--seeds", "0",
+              "--store", store_path])
+        capsys.readouterr()
+        assert main(["runs", "--store", store_path, "--export", "json",
+                     "--ledgers"]) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert len(records) == 1
+        record = records[0]
+        assert record["driver"] == "crash" and record["status"] == "ok"
+        ledger = record["ledger"]
+        assert sum(ledger["messages_per_round"]) == record["row"]["messages"]
+
+    def test_sweep_no_store(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["sweep", "--driver", "crash", "--n", "6", "--seeds",
+                     "0", "--no-store"]) == 0
+        assert "crash-renaming" in capsys.readouterr().out
+        assert not (tmp_path / ".repro").exists()
+
+    def test_sweep_param_passthrough(self, capsys):
+        assert main(["sweep", "--driver", "crash", "--n", "6", "--seeds",
+                     "0", "--no-store", "--param", "adversary=random",
+                     "--f", "1"]) == 0
+        assert "crash-renaming" in capsys.readouterr().out
