@@ -8,6 +8,8 @@ Examples::
     python -m repro lowerbound --n 48
     python -m repro sweep --driver crash --n 16,32,64 --seeds 0-4 --jobs 4
     python -m repro runs --export md
+    python -m repro falsify --n 8,12 --seeds 0-3 --jobs 4
+    python -m repro falsify --replay .repro/repros/repro-crash-....json
 """
 
 from __future__ import annotations
@@ -176,6 +178,79 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0 if not failed and checks_ok else 1
 
 
+def cmd_falsify(args: argparse.Namespace) -> int:
+    from repro.falsify.campaign import (
+        CampaignConfig,
+        replay_artifact,
+        run_campaign,
+        save_findings,
+    )
+    from repro.falsify.replay import ReproArtifact
+    from repro.falsify.scenarios import DEFAULT_ADVERSARIES, DEFAULT_SCENARIOS
+
+    if args.replay:
+        artifact = ReproArtifact.load(args.replay)
+        print(artifact.describe())
+        error = replay_artifact(artifact)
+        if error is None:
+            print(
+                f"NOT REPRODUCED: execution no longer violates "
+                f"{artifact.invariant!r}",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"reproduced: {error}")
+        return 0
+
+    config = CampaignConfig(
+        scenarios=(tuple(s for s in args.scenario.split(",") if s)
+                   if args.scenario else DEFAULT_SCENARIOS),
+        n_values=tuple(parse_int_list(args.n)),
+        seeds=tuple(parse_int_list(args.seeds)),
+        f=args.f,
+        adversaries=(tuple(a for a in args.adversary.split(",") if a)
+                     if args.adversary else DEFAULT_ADVERSARIES),
+        jobs=args.jobs,
+        timeout=args.timeout,
+        time_budget=args.time_budget,
+        shrink=not args.no_shrink,
+        params=_parse_params(args.param),
+    )
+    store = _open_store(args)
+
+    def progress(done: int, total: int) -> None:
+        print(f"probed {done}/{total}", file=sys.stderr)
+
+    try:
+        result = run_campaign(config, store=store, progress=progress)
+    finally:
+        if store is not None:
+            store.close()
+
+    print(
+        f"\n{len(result.results)} probes: {result.executed} executed, "
+        f"{result.cached} cached, {len(result.failures)} failed, "
+        f"{result.skipped} skipped"
+        + ("  [pool degraded to serial]" if result.degraded else ""),
+        file=sys.stderr,
+    )
+    for failure in result.failures:
+        print(f"FAILED {failure.request.describe()}\n{failure.error}",
+              file=sys.stderr)
+
+    if not result.findings:
+        print("no invariant violations found")
+        return 1 if result.failures else 0
+
+    paths = save_findings(result, args.out)
+    broken_replay = False
+    for finding, path in zip(result.findings, paths):
+        print(f"FALSIFIED {finding.describe()}\n  artifact: {path}")
+        broken_replay = broken_replay or not finding.replayed
+    print(f"{len(result.findings)} violation(s); artifacts in {args.out}")
+    return 2 if broken_replay else 1
+
+
 def cmd_runs(args: argparse.Namespace) -> int:
     from datetime import datetime, timezone
 
@@ -289,7 +364,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--driver", default="crash",
         choices=["crash", "byzantine", "obg", "gossip", "balls",
-                 "reelection"],
+                 "reelection", "falsify"],
         help="named summary driver from repro.engine.sweeps",
     )
     sweep.add_argument("--n", default="16,32,64",
@@ -314,6 +389,49 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--format", choices=["plain", "md", "json"],
                        default="plain")
     sweep.set_defaults(func=cmd_sweep)
+
+    falsify = sub.add_parser(
+        "falsify",
+        help="hunt for invariant violations; shrink and save repro "
+             "artifacts",
+    )
+    falsify.add_argument("--scenario", default=None,
+                         help="comma list of scenarios (default: the "
+                              "clean built-in scenarios)")
+    falsify.add_argument("--n", default="8,12",
+                         help="comma/range list of n values")
+    falsify.add_argument("--seeds", default="0-3",
+                         help="comma/range list of seeds")
+    falsify.add_argument("--f", default="max(1, n // 4)",
+                         help="crash budget as an expression in n")
+    falsify.add_argument("--adversary", default=None,
+                         help="comma list of adversaries "
+                              "(default: random,hunter,partitioner)")
+    falsify.add_argument("--jobs", type=int, default=1,
+                         help="worker processes (1 = serial, in-process)")
+    falsify.add_argument("--timeout", type=float, default=None,
+                         help="per-probe seconds before a retry/failure")
+    falsify.add_argument("--time-budget", type=float, default=None,
+                         help="stop launching new probe batches after "
+                              "this many seconds")
+    falsify.add_argument("--no-shrink", action="store_true",
+                         help="save raw recorded schedules without "
+                              "delta-debugging them")
+    falsify.add_argument("--out", default=".repro/repros",
+                         help="directory for repro artifacts")
+    falsify.add_argument("--param", action="append", default=[],
+                         metavar="KEY=VALUE",
+                         help="extra scenario keyword (JSON value); "
+                              "repeatable")
+    falsify.add_argument("--store", default=None,
+                         help="run-store path (default $REPRO_STORE or "
+                              ".repro/runs.sqlite)")
+    falsify.add_argument("--no-store", action="store_true",
+                         help="run without reading or writing the store")
+    falsify.add_argument("--replay", default=None, metavar="PATH",
+                         help="strictly replay one repro artifact and "
+                              "exit (0 = reproduced)")
+    falsify.set_defaults(func=cmd_falsify)
 
     runs = sub.add_parser(
         "runs", help="list/query/export cached runs from the store"

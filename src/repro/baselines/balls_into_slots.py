@@ -143,6 +143,7 @@ def run_balls_into_slots(
     adversary: Optional[CrashAdversary] = None,
     seed: int = 0,
     trace: bool = False,
+    monitors: Sequence[object] = (),
 ) -> ExecutionResult:
     """Run the balls-into-slots baseline for nodes with ids ``uids``.
 
@@ -161,5 +162,6 @@ def run_balls_into_slots(
     cost = CostModel(n=len(uids), namespace=namespace)
     processes = [BallsIntoSlotsNode(uid, slots=slots) for uid in uids]
     return run_network(
-        processes, cost, crash_adversary=adversary, seed=seed, trace=trace
+        processes, cost, crash_adversary=adversary, seed=seed, trace=trace,
+        monitors=monitors,
     )

@@ -77,6 +77,7 @@ def run_collect_rank(
     assumed_faults: Optional[int] = None,
     seed: int = 0,
     trace: bool = False,
+    monitors: Sequence[object] = (),
 ) -> ExecutionResult:
     """Run the gossip baseline for nodes with identities ``uids``."""
     uids = list(uids)
@@ -87,5 +88,6 @@ def run_collect_rank(
     cost = CostModel(n=len(uids), namespace=namespace)
     processes = [CollectRankNode(uid, assumed_faults) for uid in uids]
     return run_network(
-        processes, cost, crash_adversary=adversary, seed=seed, trace=trace
+        processes, cost, crash_adversary=adversary, seed=seed, trace=trace,
+        monitors=monitors,
     )

@@ -98,6 +98,7 @@ def run_obg_halving(
     adversary: Optional[CrashAdversary] = None,
     seed: int = 0,
     trace: bool = False,
+    monitors: Sequence[object] = (),
 ) -> ExecutionResult:
     """Run the all-to-all halving baseline for nodes with ids ``uids``."""
     uids = list(uids)
@@ -108,5 +109,6 @@ def run_obg_halving(
     cost = CostModel(n=len(uids), namespace=namespace)
     processes = [ObgHalvingNode(uid) for uid in uids]
     return run_network(
-        processes, cost, crash_adversary=adversary, seed=seed, trace=trace
+        processes, cost, crash_adversary=adversary, seed=seed, trace=trace,
+        monitors=monitors,
     )

@@ -458,6 +458,7 @@ def run_byzantine_renaming(
     seed: int = 0,
     trace: bool = False,
     max_rounds: int = 200_000,
+    monitors: Sequence[object] = (),
 ) -> ExecutionResult:
     """Run the Byzantine-resilient algorithm.
 
@@ -499,4 +500,5 @@ def run_byzantine_renaming(
         seed=seed,
         trace=trace,
         max_rounds=max_rounds,
+        monitors=monitors,
     )

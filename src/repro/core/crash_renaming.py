@@ -279,6 +279,7 @@ def run_crash_renaming(
     config: Optional[CrashRenamingConfig] = None,
     seed: int = 0,
     trace: bool = False,
+    monitors: Sequence[object] = (),
 ) -> ExecutionResult:
     """Run the crash-resilient algorithm for nodes with identities ``uids``.
 
@@ -301,4 +302,5 @@ def run_crash_renaming(
         crash_adversary=adversary,
         seed=seed,
         trace=trace,
+        monitors=monitors,
     )

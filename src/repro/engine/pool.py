@@ -5,8 +5,11 @@
 * **Deterministic order** — results come back in request order whatever
   the worker count, so parallel output is byte-identical to serial.
 * **Crash isolation** — a driver that raises produces a ``failed``
-  result (with the traceback) instead of aborting the sweep; a wedged
-  worker chunk is timed out and recorded as failed likewise.
+  result (with the traceback) instead of aborting the sweep.  A wedged
+  or crashed worker chunk is not written off wholesale: its tasks are
+  resubmitted individually (one bounded retry, each in a fresh
+  single-worker pool so one poisoned task cannot take down its chunk
+  mates) and only the tasks that fail again are recorded as failed.
 * **Caching** — with a :class:`~repro.engine.store.RunStore`, every
   ``ok`` run is persisted under its content hash and served from the
   store on the next invocation with zero executions; failed runs are
@@ -43,6 +46,9 @@ class RunResult:
     cached: bool = False
     messages_per_round: Optional[list[int]] = None
     bits_per_round: Optional[list[int]] = None
+    #: Executions this result took: 0 for a store hit, 1 for a direct
+    #: success/failure, 2 when the task went through the retry path.
+    attempts: int = 1
 
     @property
     def ok(self) -> bool:
@@ -73,6 +79,35 @@ def _worker(batch: list[tuple[int, RunRequest]]) -> list[tuple[int, RunResult]]:
     return [(index, _run_one(request)) for index, request in batch]
 
 
+def _run_isolated(request: RunRequest,
+                  timeout: Optional[float]) -> RunResult:
+    """Retry one task in a fresh single-worker pool.
+
+    Isolation is the point: if *this* task is the one that wedged or
+    killed its original chunk's worker, only its own retry pool breaks.
+    A hung retry is terminated at ``timeout`` so the sweep carries on.
+    """
+    pool = ProcessPoolExecutor(max_workers=1)
+    try:
+        future = pool.submit(_worker, [(0, request)])
+        outcomes = dict(future.result(timeout=timeout))
+        return outcomes[0]
+    except FutureTimeoutError:
+        for process in list(pool._processes.values()):
+            process.terminate()
+        return RunResult(
+            request=request, status="failed",
+            error=f"timed out: task exceeded {timeout:.1f}s on retry",
+        )
+    except Exception:  # BrokenProcessPool and kin
+        return RunResult(
+            request=request, status="failed",
+            error=traceback.format_exc(limit=8),
+        )
+    finally:
+        pool.shutdown(wait=True)
+
+
 def _chunk(tasks: list, size: int) -> list[list]:
     return [tasks[start:start + size] for start in range(0, len(tasks), size)]
 
@@ -91,6 +126,7 @@ def run_requests(
     timeout: Optional[float] = None,
     chunksize: Optional[int] = None,
     progress: Optional[Callable[[int, int], None]] = None,
+    retry_backoff: float = 0.25,
 ) -> list[RunResult]:
     """Execute ``requests``; return results in request order.
 
@@ -104,12 +140,18 @@ def run_requests(
     timeout:
         Per-task budget in seconds (parallel path only).  A chunk is
         allowed ``timeout * len(chunk)``; on expiry its unfinished tasks
-        are recorded as failed and the sweep carries on.
+        go to the individual retry pass with ``timeout`` each.
     chunksize:
         Tasks per pool submission; default :func:`default_chunksize`.
     progress:
         Optional ``progress(done, total)`` callback, called after the
         cache scan and after each completed chunk.
+    retry_backoff:
+        Seconds to wait before resubmitting the tasks of a timed-out or
+        broken chunk individually (transient failures — OOM kills, a
+        wedged sibling — often need a beat to clear).  Each task gets
+        exactly one retry; a task that fails twice is recorded failed
+        with both errors.
     """
     requests = list(requests)
     results: list[Optional[RunResult]] = [None] * len(requests)
@@ -130,6 +172,7 @@ def run_requests(
                     elapsed=stored.elapsed or 0.0, cached=True,
                     messages_per_round=messages_per_round or None,
                     bits_per_round=bits_per_round or None,
+                    attempts=0,
                 )
 
     pending = [i for i, result in enumerate(results) if result is None]
@@ -159,6 +202,7 @@ def run_requests(
                 cached=False,
                 messages_per_round=result.messages_per_round,
                 bits_per_round=result.bits_per_round,
+                attempts=result.attempts,
             )
             if store is not None:
                 request = requests[target]
@@ -181,7 +225,10 @@ def run_requests(
     elif unique_pending:
         size = chunksize or default_chunksize(len(unique_pending), jobs)
         chunks = _chunk([(i, requests[i]) for i in unique_pending], size)
-        with ProcessPoolExecutor(max_workers=min(jobs, len(chunks))) as pool:
+        retry: list[tuple[int, RunRequest, str]] = []
+        hung = False
+        pool = ProcessPoolExecutor(max_workers=min(jobs, len(chunks)))
+        try:
             futures = [pool.submit(_worker, chunk) for chunk in chunks]
             for chunk, future in zip(chunks, futures):
                 budget = None if timeout is None else timeout * len(chunk)
@@ -189,25 +236,38 @@ def run_requests(
                     outcomes = dict(future.result(timeout=budget))
                 except FutureTimeoutError:
                     future.cancel()
-                    outcomes = {
-                        index: RunResult(
-                            request=request, status="failed",
-                            error=(f"timed out: chunk exceeded {budget:.1f}s"
-                                   f" ({len(chunk)} tasks)"),
-                        )
-                        for index, request in chunk
-                    }
+                    hung = True
+                    first_error = (f"timed out: chunk exceeded {budget:.1f}s"
+                                   f" ({len(chunk)} tasks)")
+                    retry.extend((i, r, first_error) for i, r in chunk)
+                    continue
                 except Exception:  # BrokenProcessPool and kin
-                    outcomes = {
-                        index: RunResult(
-                            request=request, status="failed",
-                            error=traceback.format_exc(limit=8),
-                        )
-                        for index, request in chunk
-                    }
+                    first_error = traceback.format_exc(limit=8)
+                    retry.extend((i, r, first_error) for i, r in chunk)
+                    continue
                 for index, _request in chunk:
                     settle(index, outcomes[index])
                 if progress is not None:
                     progress(done, total)
+        finally:
+            if hung:
+                # A timed-out chunk may still be running; don't let
+                # shutdown block on it.
+                for process in list(pool._processes.values()):
+                    process.terminate()
+            pool.shutdown(wait=True)
+        if retry and retry_backoff > 0:
+            time.sleep(retry_backoff)
+        for index, request, first_error in retry:
+            result = _run_isolated(request, timeout)
+            result.request = request
+            result.attempts = 2
+            if not result.ok:
+                result.error = (
+                    f"{result.error}\n--- first attempt ---\n{first_error}"
+                )
+            settle(index, result)
+            if progress is not None:
+                progress(done, total)
 
     return results  # type: ignore[return-value]

@@ -44,6 +44,10 @@ def _load_default_drivers() -> None:
     DRIVERS.setdefault("balls", experiments.balls_run_summary)
     DRIVERS.setdefault("reelection", experiments.reelection_run_summary)
 
+    from repro.falsify import campaign
+
+    DRIVERS.setdefault("falsify", campaign.falsify_run_summary)
+
 
 def driver_names() -> list[str]:
     _load_default_drivers()

@@ -1,0 +1,212 @@
+"""Named falsification scenarios and adversary factories.
+
+A *scenario* is one end-to-end protocol execution parameterized over an
+explicit crash adversary and a monitor suite — the unit the campaign
+runner randomizes, the shrinker re-executes, and a repro artifact pins
+down.  Scenarios deliberately mirror the seeding conventions of the
+sweep drivers in :mod:`repro.analysis.experiments` (identities from
+``Random(seed)``, network seed ``seed + 2``) so a falsified
+configuration is directly comparable to a sweep row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+from typing import Callable, Optional
+
+from repro.adversary.base import CrashAdversary
+from repro.adversary.crash import (
+    CommitteeHunter,
+    MidSendPartitioner,
+    RandomCrash,
+)
+from repro.falsify.faulty import RacyRankNode
+from repro.falsify.monitors import Monitor, default_monitors
+from repro.sim.messages import CostModel
+from repro.sim.runner import ExecutionResult, run_network
+
+#: ``fn(n, f, seed, adversary, monitors, params) -> ExecutionResult``
+ScenarioFn = Callable[..., ExecutionResult]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named falsification target.
+
+    ``bound`` is the namespace contract its monitor suite enforces
+    (``strong`` | ``tight`` | ``loose``).
+    """
+
+    name: str
+    run: ScenarioFn
+    bound: str = "strong"
+    description: str = ""
+
+
+SCENARIOS: dict[str, Scenario] = {}
+
+#: Adversary kinds the campaign randomizes over by default.
+DEFAULT_ADVERSARIES = ("random", "hunter", "partitioner")
+
+#: Per-round crash probability of the ``random`` falsification
+#: adversary; deliberately higher than the sweeps' 0.05 so the budget
+#: is usually spent within the execution.
+FALSIFY_CRASH_RATE = 0.15
+
+
+def register_scenario(scenario: Scenario) -> Scenario:
+    SCENARIOS[scenario.name] = scenario
+    return scenario
+
+
+def scenario_names() -> list[str]:
+    return sorted(SCENARIOS)
+
+
+def resolve_scenario(name: str) -> Scenario:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; known: {', '.join(scenario_names())}"
+        ) from None
+
+
+def make_adversary(
+    kind: Optional[str], f: int, seed: int, *, rate: Optional[float] = None
+) -> Optional[CrashAdversary]:
+    """Build a falsification adversary; ``None``/``"none"``/``f=0`` → none."""
+    if kind is None or kind == "none" or f <= 0:
+        return None
+    rng = Random(seed + 1)
+    if kind == "random":
+        return RandomCrash(f, rate=rate or FALSIFY_CRASH_RATE, rng=rng)
+    if kind == "hunter":
+        return CommitteeHunter(f, rng)
+    if kind == "partitioner":
+        return MidSendPartitioner(f, rng)
+    raise ValueError(
+        f"unknown adversary kind {kind!r}; expected one of "
+        f"none, random, hunter, partitioner"
+    )
+
+
+def monitors_for(scenario: Scenario, n: int, f: int,
+                 watchdog_rounds: Optional[int] = None) -> tuple[Monitor, ...]:
+    """The default monitor suite for one scenario execution."""
+    return default_monitors(n, f, bound=scenario.bound,
+                            watchdog_rounds=watchdog_rounds)
+
+
+def run_scenario(
+    name: str,
+    n: int,
+    f: int,
+    seed: int,
+    *,
+    adversary: Optional[CrashAdversary] = None,
+    monitors: tuple[Monitor, ...] = (),
+    params: Optional[dict] = None,
+) -> ExecutionResult:
+    """Execute one scenario under an explicit adversary and monitors."""
+    scenario = resolve_scenario(name)
+    return scenario.run(n, f, seed, adversary, monitors, dict(params or {}))
+
+
+# ---------------------------------------------------------------------------
+# Concrete scenarios
+
+
+def _population(n: int, seed: int) -> tuple[list[int], int]:
+    from repro.analysis.experiments import default_namespace, sample_uids
+
+    namespace = default_namespace(n)
+    return sample_uids(n, namespace, Random(seed)), namespace
+
+
+def _crash_scenario(n, f, seed, adversary, monitors, params):
+    from repro.analysis.experiments import EXPERIMENT_ELECTION_CONSTANT
+    from repro.core.crash_renaming import (
+        CrashRenamingConfig,
+        run_crash_renaming,
+    )
+
+    uids, namespace = _population(n, seed)
+    config = CrashRenamingConfig(
+        election_constant=params.get("election_constant",
+                                     EXPERIMENT_ELECTION_CONSTANT),
+        early_stopping=params.get("early_stopping", False),
+    )
+    return run_crash_renaming(
+        uids, namespace=namespace, adversary=adversary, config=config,
+        seed=seed + 2, trace=True, monitors=monitors,
+    )
+
+
+def _obg_scenario(n, f, seed, adversary, monitors, params):
+    from repro.baselines.obg_halving import run_obg_halving
+
+    uids, namespace = _population(n, seed)
+    return run_obg_halving(
+        uids, namespace=namespace, adversary=adversary,
+        seed=seed + 2, trace=True, monitors=monitors,
+    )
+
+
+def _balls_scenario(n, f, seed, adversary, monitors, params):
+    from repro.baselines.balls_into_slots import run_balls_into_slots
+
+    uids, namespace = _population(n, seed)
+    return run_balls_into_slots(
+        uids, namespace=namespace, slots=params.get("slots"),
+        adversary=adversary, seed=seed + 2, trace=True, monitors=monitors,
+    )
+
+
+def _gossip_scenario(n, f, seed, adversary, monitors, params):
+    from repro.baselines.collect_rank import run_collect_rank
+
+    uids, namespace = _population(n, seed)
+    return run_collect_rank(
+        uids, namespace=namespace, adversary=adversary,
+        assumed_faults=params.get("assumed_faults"),
+        seed=seed + 2, trace=True, monitors=monitors,
+    )
+
+
+def _planted_duplicate_scenario(n, f, seed, adversary, monitors, params):
+    uids, namespace = _population(n, seed)
+    cost = CostModel(n=n, namespace=namespace)
+    processes = [RacyRankNode(uid) for uid in uids]
+    return run_network(
+        processes, cost, crash_adversary=adversary,
+        seed=seed + 2, trace=True, monitors=monitors,
+    )
+
+
+register_scenario(Scenario(
+    "crash", _crash_scenario,
+    description="committee renaming under a crash adversary (Thm 1.2)",
+))
+register_scenario(Scenario(
+    "obg", _obg_scenario,
+    description="all-to-all halving baseline under crashes",
+))
+register_scenario(Scenario(
+    "balls", _balls_scenario,
+    description="balls-into-slots baseline under crashes",
+))
+register_scenario(Scenario(
+    "gossip", _gossip_scenario,
+    description="full-information gossip baseline under crashes",
+))
+register_scenario(Scenario(
+    "planted-duplicate", _planted_duplicate_scenario,
+    description="fault-injection fixture: racy rank renaming that emits "
+                "duplicate names under a mid-send crash",
+))
+
+#: Scenarios the smoke campaign runs by default — every real driver,
+#: excluding the planted fault-injection fixtures.
+DEFAULT_SCENARIOS = ("crash", "obg", "balls", "gossip")

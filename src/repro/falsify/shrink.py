@@ -1,0 +1,244 @@
+"""Delta-debugging shrinker for failing executions.
+
+Given a repro artifact, the shrinker searches for the smallest
+execution that still falsifies the same invariant, along two axes:
+
+1. **Schedule minimization** — greedily drop crash entries, then
+   simplify surviving mid-send splits to clean pre-send crashes, until
+   a fixpoint: every remaining entry is load-bearing.
+2. **Population minimization** — walk ``n`` down while the violation
+   persists (schedule entries naming removed nodes are dropped).
+
+Candidate executions replay leniently (dropped crashes legitimately
+change everything downstream), and the final minimal execution is
+re-recorded through a :class:`~repro.falsify.replay.RecordingAdversary`
+so the emitted artifact replays *strictly* — byte-for-byte the same
+violation on a fresh process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.engine.store import code_version
+from repro.falsify.monitors import InvariantViolation
+from repro.falsify.replay import (
+    RecordingAdversary,
+    ReplayAdversary,
+    ReproArtifact,
+    Schedule,
+    normalize_schedule,
+    schedule_size,
+)
+from repro.falsify.scenarios import monitors_for, resolve_scenario, run_scenario
+from repro.sim.network import NonTerminationError
+
+#: Pseudo-invariant name used when the failure is a hang rather than a
+#: monitor violation.
+NON_TERMINATION = "non-termination"
+
+
+@dataclass
+class ProbeOutcome:
+    """One re-execution of a candidate: what (if anything) it violated."""
+
+    invariant: str
+    error: Exception
+    #: The adversary the probe ran under; a recording probe exposes the
+    #: exact applied schedule via ``adversary.schedule``.
+    adversary: object
+
+    def violation_fields(self) -> tuple[int, tuple[int, ...], object]:
+        """``(round, nodes, detail)`` of the reproduced failure."""
+        error = self.error
+        if isinstance(error, InvariantViolation):
+            return error.round_no, error.nodes, error.detail
+        if isinstance(error, NonTerminationError):
+            return error.round_no, error.pending, None
+        return 0, (), repr(error)
+
+
+def probe(
+    scenario_name: str,
+    n: int,
+    seed: int,
+    schedule: Schedule,
+    params: Optional[dict] = None,
+    *,
+    strict: bool = False,
+    record: bool = False,
+    watchdog_rounds: Optional[int] = None,
+) -> Optional[ProbeOutcome]:
+    """Replay one candidate; return what it violated, or ``None``.
+
+    ``strict`` enforces exact replay (artifact verification);
+    ``record=True`` additionally captures the applied schedule.
+    Driver exceptions other than violations/hangs are reported under an
+    ``error:<ExceptionName>`` pseudo-invariant so the shrinker never
+    conflates a crash-of-the-code with the violation it is minimizing.
+    """
+    scenario = resolve_scenario(scenario_name)
+    f = schedule_size(schedule)
+    adversary = ReplayAdversary(schedule, strict=strict)
+    if record:
+        adversary = RecordingAdversary(adversary)
+    monitors = monitors_for(scenario, n, f, watchdog_rounds=watchdog_rounds)
+    try:
+        run_scenario(
+            scenario_name, n, f, seed,
+            adversary=adversary, monitors=monitors, params=params,
+        )
+    except InvariantViolation as violation:
+        return ProbeOutcome(violation.invariant, violation, adversary)
+    except NonTerminationError as hang:
+        return ProbeOutcome(NON_TERMINATION, hang, adversary)
+    except Exception as error:  # noqa: BLE001 - classified, not swallowed
+        return ProbeOutcome(f"error:{type(error).__name__}", error, adversary)
+    return None
+
+
+@dataclass
+class ShrinkReport:
+    """The minimized artifact plus how much work minimization did."""
+
+    artifact: ReproArtifact
+    executions: int
+    entries_before: int
+    entries_after: int
+    n_before: int
+    n_after: int
+
+    def describe(self) -> str:
+        return (
+            f"shrank schedule {self.entries_before} -> {self.entries_after} "
+            f"crashes, n {self.n_before} -> {self.n_after} "
+            f"({self.executions} probe executions)"
+        )
+
+
+def _entries(schedule: Schedule) -> list[tuple[int, int]]:
+    return [
+        (round_no, victim)
+        for round_no in sorted(schedule)
+        for victim in sorted(schedule[round_no])
+    ]
+
+
+def _without(schedule: Schedule, round_no: int, victim: int) -> Schedule:
+    candidate = {r: dict(step) for r, step in schedule.items()}
+    candidate[round_no].pop(victim, None)
+    return normalize_schedule(candidate)
+
+
+def _with_clean_crash(schedule: Schedule, round_no: int,
+                      victim: int) -> Schedule:
+    candidate = {r: dict(step) for r, step in schedule.items()}
+    candidate[round_no][victim] = ()
+    return normalize_schedule(candidate)
+
+
+def shrink_artifact(
+    artifact: ReproArtifact,
+    *,
+    max_executions: int = 300,
+) -> ShrinkReport:
+    """Minimize ``artifact`` to the smallest still-failing execution.
+
+    Deterministic and bounded: at most ``max_executions`` candidate
+    re-executions.  Returns a report whose artifact strictly replays
+    the same invariant violation.
+    """
+    target = artifact.invariant
+    n = artifact.n
+    schedule = normalize_schedule(artifact.schedule)
+    entries_before = schedule_size(schedule)
+    executions = 0
+
+    def still_fails(candidate_n: int, candidate: Schedule) -> bool:
+        nonlocal executions
+        if executions >= max_executions:
+            return False
+        executions += 1
+        outcome = probe(artifact.scenario, candidate_n, artifact.seed,
+                        candidate, artifact.params)
+        return outcome is not None and outcome.invariant == target
+
+    # Pass 1: drop whole crash entries until every one is load-bearing.
+    changed = True
+    while changed:
+        changed = False
+        for round_no, victim in _entries(schedule):
+            candidate = _without(schedule, round_no, victim)
+            if still_fails(n, candidate):
+                schedule = candidate
+                changed = True
+
+    # Pass 2: simplify mid-send splits — first try a clean pre-send
+    # crash, else drop the delivered messages one by one.
+    for round_no, victim in _entries(schedule):
+        if not schedule[round_no][victim]:
+            continue
+        candidate = _with_clean_crash(schedule, round_no, victim)
+        if still_fails(n, candidate):
+            schedule = candidate
+            continue
+        kept = list(schedule[round_no][victim])
+        position = 0
+        while position < len(kept):
+            candidate_kept = tuple(kept[:position] + kept[position + 1:])
+            candidate = {r: dict(step) for r, step in schedule.items()}
+            candidate[round_no][victim] = candidate_kept
+            candidate = normalize_schedule(candidate)
+            if still_fails(n, candidate):
+                schedule = candidate
+                kept = list(candidate_kept)
+            else:
+                position += 1
+
+    # Pass 3: walk n down while the violation persists.
+    while n > 2:
+        candidate_n = n - 1
+        candidate = normalize_schedule({
+            round_no: {v: kept for v, kept in step.items()
+                       if v < candidate_n}
+            for round_no, step in schedule.items()
+        })
+        if still_fails(candidate_n, candidate):
+            n = candidate_n
+            schedule = candidate
+        else:
+            break
+
+    # Re-record the minimal execution so the artifact replays strictly.
+    executions += 1
+    outcome = probe(artifact.scenario, n, artifact.seed, schedule,
+                    artifact.params, record=True)
+    if outcome is None or outcome.invariant != target:
+        raise RuntimeError(
+            f"shrinker lost the violation: {artifact.describe()} "
+            f"no longer fails with the minimized schedule"
+        )
+    recorded = normalize_schedule(outcome.adversary.schedule)
+    violation_round, nodes, detail = outcome.violation_fields()
+    minimized = ReproArtifact(
+        scenario=artifact.scenario,
+        n=n,
+        f=schedule_size(recorded),
+        seed=artifact.seed,
+        params=dict(artifact.params),
+        schedule=recorded,
+        invariant=target,
+        violation_round=violation_round,
+        nodes=tuple(nodes),
+        detail=detail,
+        code_version=code_version(),
+    )
+    return ShrinkReport(
+        artifact=minimized,
+        executions=executions,
+        entries_before=entries_before,
+        entries_after=schedule_size(recorded),
+        n_before=artifact.n,
+        n_after=n,
+    )

@@ -32,7 +32,37 @@ DEFAULT_MAX_ROUNDS = 1_000_000
 
 
 class NonTerminationError(RuntimeError):
-    """A protocol exceeded the round cap without all correct nodes done."""
+    """A protocol exceeded the round cap without all correct nodes done.
+
+    Carries the partial execution state so callers (and the
+    :mod:`repro.falsify` harness) can capture a replayable artifact from
+    a hang instead of a bare message:
+
+    ``round_no``
+        The round at which the cap was hit.
+    ``pending``
+        Indices of the correct, alive nodes that had not terminated.
+    ``trace``
+        The execution's :class:`~repro.sim.trace.Trace` (empty unless
+        tracing was enabled).
+    ``metrics``
+        The live :class:`~repro.sim.metrics.Metrics` at abort time.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        round_no: int = 0,
+        pending: Sequence[int] = (),
+        trace: Optional[Trace] = None,
+        metrics: Optional[Metrics] = None,
+    ):
+        super().__init__(message)
+        self.round_no = round_no
+        self.pending = tuple(pending)
+        self.trace = trace
+        self.metrics = metrics
 
 
 class SyncNetwork:
@@ -52,6 +82,13 @@ class SyncNetwork:
         Optional shared-randomness handle made available to every node.
     seed:
         Seeds the per-node private RNG streams.
+    monitors:
+        Per-round invariant monitors (see :mod:`repro.falsify.monitors`).
+        Each object is called as ``monitor.on_start(network)`` once,
+        ``monitor.on_round(network)`` after every completed round, and
+        ``monitor.on_finish(network)`` after termination; a monitor
+        signals a falsified invariant by raising.  The default ``()``
+        costs nothing.
     """
 
     def __init__(
@@ -65,6 +102,7 @@ class SyncNetwork:
         seed: int = 0,
         trace: bool = False,
         max_rounds: int = DEFAULT_MAX_ROUNDS,
+        monitors: Sequence[object] = (),
     ):
         if not processes:
             raise ValueError("need at least one process")
@@ -75,6 +113,7 @@ class SyncNetwork:
         self.authenticator = authenticator or Authenticator()
         self.shared = shared
         self.max_rounds = max_rounds
+        self.monitors = tuple(monitors)
         self.metrics = Metrics(cost=cost)
         self.trace = Trace(enabled=trace)
         self.round_no = 0
@@ -141,7 +180,12 @@ class SyncNetwork:
         ]
 
     def _apply_crash_plan(self, proposed: dict[int, list[Send]]) -> dict[int, list[Send]]:
-        """Validate the adversary's plan and return the delivered sends."""
+        """Validate the adversary's plan and return the delivered sends.
+
+        The whole plan is validated before any state changes, so a
+        rejected plan (:class:`CrashPlanError`) leaves ``self.crashed``
+        and ``adversary.crashed`` untouched — no half-applied crashes.
+        """
         alive = frozenset(self._alive_unfinished())
         plan = self.adversary.plan_round(self.round_no, proposed, alive, self.trace)
         victims = set(plan)
@@ -156,11 +200,10 @@ class SyncNetwork:
             raise CrashPlanError(
                 f"budget {self.adversary.budget} exceeded by crashing {victims}"
             )
-        delivered = dict(proposed)
+        kept_by_victim: dict[int, list[Send]] = {}
         for victim, kept in plan.items():
             kept = list(kept)
-            full = proposed.get(victim, [])
-            remaining = list(full)
+            remaining = list(proposed.get(victim, []))
             for send in kept:
                 if send in remaining:
                     remaining.remove(send)
@@ -168,10 +211,14 @@ class SyncNetwork:
                     raise CrashPlanError(
                         f"victim {victim}: kept message {send} was never proposed"
                     )
+            kept_by_victim[victim] = kept
+        delivered = dict(proposed)
+        for victim, kept in kept_by_victim.items():
             delivered[victim] = kept
             self.crashed.add(victim)
             self.trace.record(self.round_no, "crash", victim,
-                              {"delivered": len(kept), "proposed": len(full)})
+                              {"delivered": len(kept),
+                               "proposed": len(proposed.get(victim, []))})
         self.adversary.note_crashes(victims)
         return delivered
 
@@ -229,15 +276,26 @@ class SyncNetwork:
                 self._finish(index, None)
                 self._pending.pop(index, None)
 
+        for monitor in self.monitors:
+            monitor.on_round(self)
+
     def run(self) -> None:
         """Run rounds until every correct, non-crashed node terminates."""
         self._start()
+        for monitor in self.monitors:
+            monitor.on_start(self)
         while self._correct_pending():
             if self.round_no >= self.max_rounds:
                 raise NonTerminationError(
                     f"protocol still running after {self.max_rounds} rounds; "
-                    f"pending correct nodes: {self._correct_pending()[:10]}"
+                    f"pending correct nodes: {self._correct_pending()[:10]}",
+                    round_no=self.round_no,
+                    pending=self._correct_pending(),
+                    trace=self.trace,
+                    metrics=self.metrics,
                 )
             self.step()
         for index in sorted(set(self._programs) - set(self.finished)):
             self._programs[index].close()
+        for monitor in self.monitors:
+            monitor.on_finish(self)

@@ -54,6 +54,7 @@ def run_network(
     seed: int = 0,
     trace: bool = False,
     max_rounds: int = DEFAULT_MAX_ROUNDS,
+    monitors: Sequence[object] = (),
 ) -> ExecutionResult:
     """Build a :class:`SyncNetwork`, run it to completion, package results."""
     network = SyncNetwork(
@@ -65,6 +66,7 @@ def run_network(
         seed=seed,
         trace=trace,
         max_rounds=max_rounds,
+        monitors=monitors,
     )
     network.run()
     byzantine = {

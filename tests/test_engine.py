@@ -231,3 +231,55 @@ class TestCli:
                      "0", "--no-store", "--param", "adversary=random",
                      "--f", "1"]) == 0
         assert "crash-renaming" in capsys.readouterr().out
+
+
+def _halt_driver(n, f, seed, include_rounds=False, **params):
+    import os
+
+    os._exit(37)  # simulates an OOM-kill / hard worker death
+
+
+def _sleepy_driver(n, f, seed, include_rounds=False, **params):
+    import time
+
+    time.sleep(10)
+    return crash_run_summary(n, f, seed)
+
+
+class TestChunkRetry:
+    def test_attempts_recorded(self, store):
+        fresh = run_requests(SMALL.requests(), store=store)
+        assert all(result.attempts == 1 for result in fresh)
+        cached = run_requests(SMALL.requests(), store=store)
+        assert all(result.attempts == 0 for result in cached)
+
+    def test_poisoned_task_isolated_from_chunk_mates(self):
+        register_driver("halt", _halt_driver)
+        try:
+            requests = [RunRequest.make("crash", 6, 0, 0),
+                        RunRequest.make("halt", 6, 0, 13)]
+            good, bad = run_requests(requests, jobs=2, chunksize=2,
+                                     retry_backoff=0.0)
+            # The worker died mid-chunk, taking the good task's first
+            # attempt with it; the individual retry recovers it.
+            assert good.ok and good.attempts == 2
+            assert good.row == crash_run_summary(6, 0, 0)
+            assert not bad.ok and bad.attempts == 2
+            assert "first attempt" in bad.error
+        finally:
+            DRIVERS.pop("halt", None)
+
+    def test_hung_task_terminated_and_chunk_mate_recovered(self):
+        register_driver("sleepy", _sleepy_driver)
+        try:
+            requests = [RunRequest.make("crash", 6, 0, 1),
+                        RunRequest.make("sleepy", 6, 0, 0)]
+            good, hung = run_requests(requests, jobs=2, chunksize=2,
+                                      timeout=0.5, retry_backoff=0.0)
+            assert good.ok and good.attempts == 2
+            assert good.row == crash_run_summary(6, 0, 1)
+            assert not hung.ok and hung.attempts == 2
+            assert "on retry" in hung.error
+            assert "first attempt" in hung.error
+        finally:
+            DRIVERS.pop("sleepy", None)

@@ -1,0 +1,186 @@
+"""Tests for the falsification campaign runner and its CLI."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.engine.store import RunStore
+from repro.falsify.campaign import (
+    CampaignConfig,
+    artifact_from_row,
+    campaign_requests,
+    falsify_run_summary,
+    replay_artifact,
+    run_campaign,
+    save_findings,
+)
+from repro.falsify.replay import ReproArtifact
+from repro.__main__ import main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: The planted-bug configuration every e2e test hunts in.
+PLANTED_CONFIG = CampaignConfig(
+    scenarios=("planted-duplicate",),
+    n_values=(10,),
+    seeds=(1,),
+    adversaries=("partitioner",),
+)
+
+
+@pytest.fixture
+def store(tmp_path):
+    with RunStore(tmp_path / "runs.sqlite") as opened:
+        yield opened
+
+
+class TestDriver:
+    def test_clean_row_shape(self):
+        row = falsify_run_summary(8, 2, 3, scenario="crash",
+                                  adversary="random")
+        assert row["violation"] is None
+        assert row["scenario"] == "crash"
+        assert row["f_actual"] <= 2
+        assert row["rounds"] > 0 and row["bits"] > 0
+        json.loads(row["schedule"])  # always JSON, even when empty
+
+    def test_violating_row_carries_schedule(self):
+        row = falsify_run_summary(10, 2, 1, scenario="planted-duplicate",
+                                  adversary="partitioner")
+        assert row["violation"] == "unique-names"
+        assert row["violation_round"] >= 1
+        assert len(json.loads(row["violation_nodes"])) >= 2
+        assert json.loads(row["schedule"])  # non-empty recorded schedule
+
+    def test_artifact_from_row_strips_harness_params(self):
+        params = dict(scenario="planted-duplicate", adversary="partitioner",
+                      rate=None, watchdog_rounds=None)
+        row = falsify_run_summary(10, 2, 1, **params)
+        artifact = artifact_from_row(row, params)
+        assert artifact.params == {}
+        assert artifact.scenario == "planted-duplicate"
+        assert artifact.f >= 1
+
+    def test_artifact_from_clean_row_rejected(self):
+        row = falsify_run_summary(6, 0, 0, scenario="gossip",
+                                  adversary="none")
+        with pytest.raises(ValueError, match="no violation"):
+            artifact_from_row(row)
+
+
+class TestCampaign:
+    def test_requests_cover_the_grid(self):
+        config = CampaignConfig(scenarios=("crash", "obg"), n_values=(8,),
+                                seeds=(0, 1), adversaries=("random",))
+        requests = campaign_requests(config)
+        assert len(requests) == 4
+        assert all(request.driver == "falsify" for request in requests)
+
+    def test_finds_shrinks_and_replays_the_planted_bug(self, tmp_path):
+        result = run_campaign(PLANTED_CONFIG)
+        assert result.falsified
+        assert not result.failures and not result.degraded
+
+        (finding,) = result.findings
+        assert finding.replayed
+        assert finding.artifact.invariant == "unique-names"
+        assert finding.shrink is not None
+        assert finding.artifact.n <= finding.raw_artifact.n
+        assert "replays" in finding.describe()
+
+        (path,) = save_findings(result, tmp_path / "repros")
+        loaded = ReproArtifact.load(path)
+        assert replay_artifact(loaded) is not None
+
+    def test_clean_scenarios_produce_no_findings(self, store):
+        config = CampaignConfig(scenarios=("gossip", "obg"), n_values=(8,),
+                                seeds=(0, 1), adversaries=("random",))
+        result = run_campaign(config, store=store)
+        assert not result.falsified
+        assert not result.failures
+        assert result.executed == 4
+        # Second run: every probe is a store hit.
+        again = run_campaign(config, store=store)
+        assert again.cached == 4 and again.executed == 0
+
+    def test_time_budget_skips_remaining_batches(self):
+        config = CampaignConfig(scenarios=("gossip",), n_values=(6,),
+                                seeds=tuple(range(20)),
+                                adversaries=("none",), time_budget=10.0)
+        ticks = iter([0.0, 100.0])
+        result = run_campaign(config, clock=lambda: next(ticks, 200.0))
+        assert result.skipped > 0
+        assert len(result.results) + result.skipped == 20
+
+    def test_degrades_to_serial_when_pool_breaks(self, monkeypatch):
+        from repro.engine import pool as engine_pool
+
+        real = engine_pool.run_requests
+
+        def breaking(requests, *, jobs=1, **kwargs):
+            if jobs > 1:
+                raise RuntimeError("pool exploded")
+            return real(requests, jobs=jobs, **kwargs)
+
+        monkeypatch.setattr(engine_pool, "run_requests", breaking)
+        config = CampaignConfig(scenarios=("gossip",), n_values=(6,),
+                                seeds=(0,), adversaries=("none",), jobs=4)
+        result = run_campaign(config)
+        assert result.degraded
+        assert len(result.results) == 1 and not result.failures
+
+
+class TestCli:
+    def test_campaign_flags_and_exit_code(self, tmp_path, capsys):
+        out = tmp_path / "repros"
+        code = main([
+            "falsify", "--scenario", "planted-duplicate", "--n", "10",
+            "--seeds", "1", "--adversary", "partitioner", "--no-store",
+            "--out", str(out),
+        ])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "FALSIFIED" in captured.out
+        artifacts = list(out.glob("repro-*.json"))
+        assert len(artifacts) == 1
+
+    def test_clean_campaign_exits_zero(self, tmp_path, capsys):
+        code = main([
+            "falsify", "--scenario", "gossip", "--n", "8", "--seeds", "0",
+            "--adversary", "random", "--no-store",
+            "--out", str(tmp_path / "repros"),
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "no invariant violations" in captured.out
+
+    def test_replay_mode_reproduces(self, tmp_path, capsys):
+        result = run_campaign(PLANTED_CONFIG)
+        (path,) = save_findings(result, tmp_path)
+        code = main(["falsify", "--replay", str(path)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "reproduced" in captured.out
+
+    def test_replay_in_fresh_process(self, tmp_path):
+        """Acceptance: the saved artifact replays deterministically to
+        the same violation in a brand-new interpreter."""
+        result = run_campaign(PLANTED_CONFIG)
+        (finding,) = result.findings
+        (path,) = save_findings(result, tmp_path)
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "falsify", "--replay", str(path)],
+            capture_output=True, text=True, env=env, cwd=REPO_ROOT,
+            timeout=120,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert "reproduced: [unique-names]" in completed.stdout
+        # The violation is exactly what this process observed.
+        assert f"round {finding.artifact.violation_round}" in completed.stdout

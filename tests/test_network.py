@@ -263,3 +263,134 @@ class TestTrace:
         )
         round2 = list(result.trace.in_round(2))
         assert any(e.kind == "crash" for e in round2)
+
+
+class TestNonTerminationState:
+    def test_error_carries_partial_execution_state(self):
+        with pytest.raises(NonTerminationError) as info:
+            run_network([IdleProcess(uid=1), Chatter(uid=2, rounds=2)],
+                        cost_for(2), max_rounds=10, trace=True)
+        error = info.value
+        assert error.round_no == 10
+        assert error.pending == (0,)  # the idle node never terminates
+        assert error.trace is not None and len(error.trace) > 0
+        assert error.metrics is not None and error.metrics.rounds == 10
+
+    def test_defaults_are_empty(self):
+        error = NonTerminationError("stuck")
+        assert error.round_no == 0
+        assert error.pending == ()
+        assert error.trace is None and error.metrics is None
+
+
+class RecordingMonitor:
+    """Counts every hook invocation the network makes."""
+
+    name = "recording"
+
+    def __init__(self):
+        self.starts = 0
+        self.rounds = []
+        self.finishes = 0
+
+    def on_start(self, network):
+        self.starts += 1
+
+    def on_round(self, network):
+        self.rounds.append(network.round_no)
+
+    def on_finish(self, network):
+        self.finishes += 1
+
+
+class TestMonitorHooks:
+    def test_hooks_fire_in_order(self):
+        monitor = RecordingMonitor()
+        run_network([Chatter(uid=1, rounds=3)], cost_for(1),
+                    monitors=(monitor,))
+        assert monitor.starts == 1
+        assert monitor.rounds == [1, 2, 3]
+        assert monitor.finishes == 1
+
+    def test_no_monitors_by_default(self):
+        network = SyncNetwork([Chatter(uid=1)], cost_for(1))
+        assert network.monitors == ()
+
+    def test_monitor_exception_aborts_the_run(self):
+        class Tripwire(RecordingMonitor):
+            def on_round(self, network):
+                raise AssertionError("invariant down")
+
+        with pytest.raises(AssertionError, match="invariant down"):
+            run_network([Chatter(uid=1, rounds=3)], cost_for(1),
+                        monitors=(Tripwire(),))
+
+    def test_on_finish_not_called_after_violation(self):
+        class TripAtTwo(RecordingMonitor):
+            def on_round(self, network):
+                super().on_round(network)
+                if network.round_no == 2:
+                    raise AssertionError("round two")
+
+        monitor = TripAtTwo()
+        with pytest.raises(AssertionError):
+            run_network([Chatter(uid=1, rounds=5)], cost_for(1),
+                        monitors=(monitor,))
+        assert monitor.rounds == [1, 2]
+        assert monitor.finishes == 0
+
+
+class PlanScript(BudgetedAdaptiveCrash):
+    """Adversary whose round-1 plan is handed in verbatim."""
+
+    def __init__(self, budget, plan):
+        super().__init__(
+            budget,
+            lambda round_no, proposed, alive, trace, remaining:
+                plan if round_no == 1 else {},
+        )
+
+
+class TestCrashPlanRejectionIsAtomic:
+    """Rejected plans must leave both crash ledgers untouched."""
+
+    def run_rejected(self, adversary, match, n=3):
+        processes = [Chatter(uid=i + 1, rounds=2) for i in range(n)]
+        network = SyncNetwork(processes, cost_for(n),
+                              crash_adversary=adversary)
+        with pytest.raises(CrashPlanError, match=match):
+            network.run()
+        assert network.crashed == set()
+        assert adversary.crashed == set()
+
+    def test_non_alive_victim(self):
+        self.run_rejected(PlanScript(2, {99: []}), "non-alive")
+
+    def test_budget_overrun(self):
+        self.run_rejected(PlanScript(1, {0: [], 1: []}), "budget")
+
+    def test_kept_message_never_proposed(self):
+        bogus = [Send(to=0, message=Ping(payload=777))]
+        self.run_rejected(PlanScript(2, {0: bogus}), "never proposed")
+
+    def test_valid_victim_does_not_leak_through_invalid_plan(self):
+        # Victim 0's entry is valid on its own; victim 1 keeps a message
+        # it never proposed.  The whole plan must be rejected with no
+        # partial mutation -- node 0 stays alive.
+        bogus = [Send(to=0, message=Ping(payload=777))]
+        self.run_rejected(PlanScript(2, {0: [], 1: bogus}), "never proposed")
+
+    def test_re_crash_rejected_without_mutation(self):
+        def twice(round_no, proposed, alive, trace, remaining):
+            return {0: []} if round_no <= 2 else {}
+
+        adversary = BudgetedAdaptiveCrash(5, twice)
+        processes = [Chatter(uid=i + 1, rounds=3) for i in range(3)]
+        network = SyncNetwork(processes, cost_for(3),
+                              crash_adversary=adversary)
+        with pytest.raises(CrashPlanError, match="non-alive"):
+            network.run()
+        # The round-1 crash stands; the rejected round-2 re-crash
+        # changed nothing.
+        assert network.crashed == {0}
+        assert adversary.crashed == {0}
