@@ -1,0 +1,162 @@
+"""Microbenchmarks for the simulator hot path.
+
+Usage::
+
+    python -m repro perf                # full matrix, best-of-3 timing
+    python -m repro perf --quick        # small n, single repeat (CI smoke)
+    python -m repro perf --out BENCH_perf.json
+
+Every counted experiment in this repo funnels through
+:meth:`repro.sim.network.SyncNetwork.step`, so this harness times the
+engine itself — not any renaming algorithm — under the two regimes that
+dominate real workloads:
+
+``broadcast``
+    Every node broadcasts one small message per round (the all-to-all
+    pattern of gossip baselines and committee announcements): ``n**2``
+    envelopes per round with maximal bit-cache reuse.
+
+``crash``
+    The same all-to-all traffic under a :class:`RandomCrash` adversary
+    that kills about half the nodes over the execution, exercising
+    crash-plan application and the incrementally maintained alive sets.
+
+Results are written to ``BENCH_perf.json`` mapping each benchmark name
+(``<workload>_n<N>``) to ``{wall_s, rounds, messages, msgs_per_s}`` —
+the repo's perf trajectory.  The harness touches only the long-stable
+public simulator API, so it runs unmodified against older revisions for
+before/after comparisons.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from random import Random
+from typing import Callable, Sequence
+
+from repro.adversary.crash import RandomCrash
+from repro.sim.messages import CostModel, Message, broadcast
+from repro.sim.node import Context, Process, Program
+from repro.sim.runner import ExecutionResult, run_network
+
+#: n values of the full matrix and of the --quick CI smoke run.
+FULL_SIZES = (128, 256, 512)
+QUICK_SIZES = (32, 64)
+
+
+@dataclass(frozen=True)
+class PerfBeat(Message):
+    """A minimal O(log n)-bit message: one epoch counter."""
+
+    epoch: int
+
+    def payload_bits(self, cost: CostModel) -> int:
+        return cost.counter_bits
+
+
+class BroadcastStorm(Process):
+    """Broadcasts one fresh message per round for a fixed round count."""
+
+    def __init__(self, uid: int, rounds: int):
+        super().__init__(uid)
+        self.rounds = rounds
+
+    def program(self, ctx: Context) -> Program:
+        for epoch in range(self.rounds):
+            yield broadcast(ctx.n, PerfBeat(epoch))
+        return ctx.index + 1
+
+
+def run_broadcast_heavy(n: int, rounds: int = 6, seed: int = 7) -> ExecutionResult:
+    """All-to-all traffic, no failures: n**2 envelopes per round."""
+    cost = CostModel(n=n, namespace=4 * n)
+    processes = [BroadcastStorm(index + 1, rounds) for index in range(n)]
+    return run_network(processes, cost, seed=seed)
+
+
+def run_crash_heavy(n: int, rounds: int = 8, seed: int = 7) -> ExecutionResult:
+    """All-to-all traffic while a random adversary kills ~half the nodes."""
+    cost = CostModel(n=n, namespace=4 * n)
+    processes = [BroadcastStorm(index + 1, rounds) for index in range(n)]
+    adversary = RandomCrash(budget=n // 2, rate=0.08, rng=Random(seed + 1))
+    return run_network(processes, cost, crash_adversary=adversary, seed=seed)
+
+
+def time_execution(
+    fn: Callable[[], ExecutionResult], repeat: int
+) -> dict[str, object]:
+    """Best-of-``repeat`` wall time and the derived throughput row."""
+    best_wall = None
+    result = None
+    for _ in range(max(1, repeat)):
+        start = time.perf_counter()
+        result = fn()
+        wall = time.perf_counter() - start
+        if best_wall is None or wall < best_wall:
+            best_wall = wall
+    messages = result.metrics.total_messages
+    return {
+        "wall_s": round(best_wall, 4),
+        "rounds": result.rounds,
+        "messages": messages,
+        "msgs_per_s": int(messages / best_wall) if best_wall else 0,
+    }
+
+
+def run_perf(
+    sizes: Sequence[int],
+    repeat: int = 3,
+    progress: Callable[[str, dict], None] | None = None,
+) -> dict[str, dict]:
+    """Run the benchmark matrix; returns ``{name: stats}`` in run order."""
+    results: dict[str, dict] = {}
+    for n in sizes:
+        for workload, fn in (
+            ("broadcast", lambda n=n: run_broadcast_heavy(n)),
+            ("crash", lambda n=n: run_crash_heavy(n)),
+        ):
+            name = f"{workload}_n{n}"
+            stats = time_execution(fn, repeat)
+            results[name] = stats
+            if progress is not None:
+                progress(name, stats)
+    return results
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
+    parser.add_argument("--quick", action="store_true",
+                        help=f"small sizes {list(QUICK_SIZES)}, one repeat "
+                             "(CI smoke; timings informational)")
+    parser.add_argument("--n", default=None,
+                        help="comma list of n values overriding the matrix")
+    parser.add_argument("--repeat", type=int, default=None,
+                        help="timing repeats per benchmark, best-of "
+                             "(default 3, or 1 with --quick)")
+    parser.add_argument("--out", default="BENCH_perf.json",
+                        help="output JSON path (default BENCH_perf.json)")
+    args = parser.parse_args(argv)
+
+    if args.n:
+        sizes = [int(part) for part in args.n.split(",") if part.strip()]
+    else:
+        sizes = list(QUICK_SIZES if args.quick else FULL_SIZES)
+    repeat = args.repeat if args.repeat is not None else (1 if args.quick else 3)
+
+    def progress(name: str, stats: dict) -> None:
+        print(f"{name:>16}: {stats['messages']:>9} msgs in "
+              f"{stats['wall_s']:7.3f}s  ({stats['msgs_per_s']:>8} msgs/s)")
+
+    results = run_perf(sizes, repeat=repeat, progress=progress)
+    out = Path(args.out)
+    out.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,6 +8,7 @@ Examples::
     python -m repro lowerbound --n 48
     python -m repro sweep --driver crash --n 16,32,64 --seeds 0-4 --jobs 4
     python -m repro runs --export md
+    python -m repro perf --quick
     python -m repro falsify --n 8,12 --seeds 0-3 --jobs 4
     python -m repro falsify --replay .repro/repros/repro-crash-....json
 """
@@ -251,6 +252,43 @@ def cmd_falsify(args: argparse.Namespace) -> int:
     return 2 if broken_replay else 1
 
 
+def _import_perf_harness():
+    """Import :mod:`benchmarks.perf`, which lives next to ``src/``.
+
+    ``benchmarks/`` is part of the repo checkout, not the installed
+    package, so when ``repro`` was imported from an installed location
+    or another cwd the repo root is added to ``sys.path`` first.
+    """
+    try:
+        from benchmarks import perf
+    except ImportError:
+        from pathlib import Path
+
+        import repro
+
+        root = Path(repro.__file__).resolve().parents[2]
+        if not (root / "benchmarks" / "perf.py").is_file():
+            raise SystemExit(
+                "python -m repro perf: cannot locate benchmarks/perf.py; "
+                "run from a repo checkout"
+            )
+        sys.path.insert(0, str(root))
+        from benchmarks import perf
+    return perf
+
+
+def cmd_perf(args: argparse.Namespace) -> int:
+    perf = _import_perf_harness()
+    argv: list[str] = ["--out", args.out]
+    if args.quick:
+        argv.append("--quick")
+    if args.n:
+        argv.extend(["--n", args.n])
+    if args.repeat is not None:
+        argv.extend(["--repeat", str(args.repeat)])
+    return perf.main(argv)
+
+
 def cmd_runs(args: argparse.Namespace) -> int:
     from datetime import datetime, timezone
 
@@ -432,6 +470,20 @@ def build_parser() -> argparse.ArgumentParser:
                          help="strictly replay one repro artifact and "
                               "exit (0 = reproduced)")
     falsify.set_defaults(func=cmd_falsify)
+
+    perf = sub.add_parser(
+        "perf",
+        help="time the simulator hot path; write BENCH_perf.json",
+    )
+    perf.add_argument("--quick", action="store_true",
+                      help="small sizes, one repeat (CI smoke)")
+    perf.add_argument("--n", default=None,
+                      help="comma list of n values overriding the matrix")
+    perf.add_argument("--repeat", type=int, default=None,
+                      help="timing repeats per benchmark, best-of")
+    perf.add_argument("--out", default="BENCH_perf.json",
+                      help="output JSON path (default BENCH_perf.json)")
+    perf.set_defaults(func=cmd_perf)
 
     runs = sub.add_parser(
         "runs", help="list/query/export cached runs from the store"

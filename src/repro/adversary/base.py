@@ -31,6 +31,48 @@ class CrashPlanError(ValueError):
     """An adversary returned an invalid plan (budget / subset violation)."""
 
 
+def kept_send_indices(
+    kept: "Sequence[Send]", proposed: "Sequence[Send]"
+) -> tuple[int, ...]:
+    """Positions in ``proposed`` of each send in ``kept``, in ``kept`` order.
+
+    This is the single matching rule used everywhere a kept-send subset
+    is resolved against a proposed send list — by the network when it
+    applies a crash plan and by the falsification recorder when it
+    serializes one.  Each kept send is matched to an unused position by
+    *object identity* first (adversaries normally keep the very objects
+    they were shown), falling back to equality for adversaries that
+    construct fresh-but-equal sends.  Identity-first matching keeps the
+    resolution well-defined when a victim proposes duplicate identical
+    sends: keeping the second of two equal sends resolves to index 1,
+    never to index 0, so a recorded schedule replays the exact instance
+    the network delivered.
+
+    Raises :class:`CrashPlanError` when a kept send cannot be matched.
+    """
+    positions_by_id: dict[int, list[int]] = {}
+    for position, send in enumerate(proposed):
+        positions_by_id.setdefault(id(send), []).append(position)
+    used: set[int] = set()
+    indices: list[int] = []
+    for send in kept:
+        chosen = -1
+        for position in positions_by_id.get(id(send), ()):
+            if position not in used and proposed[position] is send:
+                chosen = position
+                break
+        if chosen < 0:
+            for position, candidate in enumerate(proposed):
+                if position not in used and candidate == send:
+                    chosen = position
+                    break
+        if chosen < 0:
+            raise CrashPlanError(f"kept message {send} was never proposed")
+        used.add(chosen)
+        indices.append(chosen)
+    return tuple(indices)
+
+
 class CrashAdversary:
     """Base class; subclasses implement :meth:`plan_round`.
 

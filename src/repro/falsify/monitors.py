@@ -284,13 +284,9 @@ class RoundBudget(Monitor):
 
     def on_round(self, network: "SyncNetwork") -> None:
         if network.round_no > self.max_rounds:
-            pending = [
-                index
-                for index in range(network.n)
-                if index not in network.crashed
-                and index not in network.finished
-                and not network.processes[index].byzantine
-            ]
+            # The network maintains this set incrementally; asking it is
+            # O(pending) instead of rescanning all n nodes every round.
+            pending = network._correct_pending()
             self.fail(
                 network,
                 f"still running after {self.max_rounds} rounds; "

@@ -28,7 +28,12 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Mapping, Sequence
 
-from repro.adversary.base import CrashAdversary, CrashPlan, CrashPlanError
+from repro.adversary.base import (
+    CrashAdversary,
+    CrashPlan,
+    CrashPlanError,
+    kept_send_indices,
+)
 
 #: round -> victim -> indices of the victim's proposed sends delivered.
 Schedule = dict[int, dict[int, tuple[int, ...]]]
@@ -41,21 +46,11 @@ class ReplayMismatch(RuntimeError):
     """A strict replay diverged from the recorded schedule."""
 
 
-def _indices_of(kept: Sequence, proposed: Sequence) -> tuple[int, ...]:
-    """Positions of ``kept`` within ``proposed``, consuming duplicates."""
-    used: set[int] = set()
-    indices: list[int] = []
-    for send in kept:
-        for position, candidate in enumerate(proposed):
-            if position not in used and candidate == send:
-                used.add(position)
-                indices.append(position)
-                break
-        else:
-            raise CrashPlanError(
-                f"kept message {send} was never proposed"
-            )
-    return tuple(indices)
+#: The recorder resolves kept sends to indices with the *same* rule the
+#: network uses to apply a crash plan (identity first, then equality),
+#: so a recorded index always names the instance the network delivered —
+#: including when a victim proposed duplicate identical sends.
+_indices_of = kept_send_indices
 
 
 def schedule_size(schedule: Mapping[int, Mapping[int, Sequence[int]]]) -> int:
@@ -94,7 +89,7 @@ class RecordingAdversary(CrashAdversary):
         plan = self.inner.plan_round(round_no, proposed, alive, trace)
         if plan:
             self.schedule[round_no] = {
-                victim: _indices_of(kept, proposed.get(victim, ()))
+                victim: kept_send_indices(kept, proposed.get(victim, ()))
                 for victim, kept in plan.items()
             }
         return plan

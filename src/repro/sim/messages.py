@@ -12,13 +12,24 @@ Messages are small frozen dataclasses.  Concrete protocols subclass
 :class:`Message` and implement :meth:`Message.payload_bits`.  The network
 wraps each message in an :class:`Envelope` carrying the (authenticated)
 sender link and delivery round.
+
+Because messages are frozen (immutable) dataclasses, their bit size
+under a fixed :class:`CostModel` never changes after construction.  The
+engine exploits that: :meth:`repro.sim.metrics.Metrics.message_bits`
+memoizes :meth:`Message.bit_size` per message object (with an equality
+fallback), so broadcasting one message over ``n`` links charges its
+size via a single ``payload_bits`` evaluation.  ``payload_bits``
+implementations must therefore be pure functions of the message's
+fields and the cost model — a message whose size depends on mutable
+external state would defeat both the cache and the frozen contract.
 """
 
 from __future__ import annotations
 
 import math
+from collections.abc import Sequence
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterator, Optional
 
 #: Number of bits charged for the message-type tag of every message.
 HEADER_BITS = 4
@@ -105,7 +116,7 @@ class Message:
         return HEADER_BITS + self.payload_bits(cost)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Send:
     """An outgoing message addressed to a link (node index in ``[0, n)``).
 
@@ -124,7 +135,7 @@ class Send:
             raise ValueError(f"link index must be non-negative, got {self.to}")
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class Envelope:
     """A delivered message.
 
@@ -135,6 +146,14 @@ class Envelope:
     forged ``claim`` shows up here instead, which is exactly the spoof
     the assumption rules out.  ``claimed_sender`` records the raw claim
     in the unauthenticated case (``None`` otherwise).
+
+    Envelopes are created by the engine — one per delivered message, on
+    the hottest allocation path in the simulator — so the class trades
+    enforced immutability for plain slot assignment, which constructs
+    several times faster than a frozen dataclass.  Receivers must treat
+    envelopes as read-only: the engine never hands the same instance to
+    two nodes, but mutating one would falsify the delivery record that
+    traces and monitors reason about.
     """
 
     sender: int
@@ -145,9 +164,62 @@ class Envelope:
     claimed_sender: Optional[int] = field(default=None)
 
 
-def broadcast(n: int, message: Message) -> list[Send]:
-    """Address ``message`` to all ``n`` links (including the self link)."""
-    return [Send(to=index, message=message) for index in range(n)]
+class Broadcast(Sequence):
+    """A lazily materialized all-links fan-out: one message to ``n`` links.
+
+    Behaves exactly like the ``[Send(to=0, m), ..., Send(to=n-1, m)]``
+    list it denotes, but the engine recognizes the type and charges the
+    whole fan-out in one step — no per-link ``Send`` objects, no
+    per-link validation, no per-link bit-size computation — which is
+    what makes ``broadcast``-heavy protocols cheap to simulate.
+
+    The ``Send`` list is materialized (and cached) only when someone
+    actually indexes or iterates the sequence — in practice, when a
+    crash adversary inspects a victim's in-flight messages.  Caching
+    matters for correctness, not just speed: crash plans resolve kept
+    sends by object identity, so repeated access must yield the *same*
+    ``Send`` instances.
+    """
+
+    __slots__ = ("n", "message", "claim", "_sends")
+
+    def __init__(self, n: int, message: Message, claim: Optional[int] = None):
+        if n < 0:
+            raise ValueError(f"link count must be non-negative, got {n}")
+        self.n = n
+        self.message = message
+        self.claim = claim
+        self._sends: Optional[list[Send]] = None
+
+    def _materialize(self) -> list[Send]:
+        sends = self._sends
+        if sends is None:
+            message, claim = self.message, self.claim
+            self._sends = sends = [
+                Send(index, message, claim) for index in range(self.n)
+            ]
+        return sends
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __getitem__(self, index):
+        return self._materialize()[index]
+
+    def __iter__(self) -> Iterator[Send]:
+        return iter(self._materialize())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Broadcast(n={self.n}, message={self.message!r})"
+
+
+def broadcast(n: int, message: Message) -> Broadcast:
+    """Address ``message`` to all ``n`` links (including the self link).
+
+    Returns a :class:`Broadcast`, a lazy, list-equivalent sequence of
+    ``Send`` objects that the engine fast-paths.
+    """
+    return Broadcast(n, message)
 
 
 def multicast(targets, message: Message) -> list[Send]:

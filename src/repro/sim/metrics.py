@@ -5,6 +5,17 @@ The paper's three performance metrics are rounds, messages, and bits.
 correct node or an adversary-controlled (Byzantine) node: the theorems
 bound the cost incurred by the *algorithm*, while Byzantine nodes can
 always spam arbitrarily many messages at no charge to the protocol.
+
+Bit accounting is memoized: messages are frozen dataclasses, so one
+``broadcast`` produces ``n`` envelopes around a single message object,
+and :meth:`Metrics.message_bits` computes its
+:meth:`~repro.sim.messages.Message.bit_size` once instead of ``n``
+times.  The cache is keyed by message identity (with a strong reference
+pinning the object, so a recycled ``id`` can never alias) plus an
+equality fallback for distinct-but-equal messages, and is dropped at
+every :meth:`begin_round` so it stays bounded by one round's working
+set.  Memoization is invisible in the ledgers: every counted quantity
+is identical to charging each send individually.
 """
 
 from __future__ import annotations
@@ -30,27 +41,70 @@ class Metrics:
     bits_per_round: list[int] = field(default_factory=list)
     sends_by_node: Counter = field(default_factory=Counter)
     sends_by_type: Counter = field(default_factory=Counter)
+    #: id(message) -> (message, bits); the message reference keeps the
+    #: object alive so the id cannot be recycled while the entry exists.
+    _bits_by_id: dict = field(default_factory=dict, repr=False, compare=False)
+    #: message -> bits, the equality fallback for hashable messages.
+    _bits_by_value: dict = field(default_factory=dict, repr=False,
+                                 compare=False)
 
     def begin_round(self) -> None:
         self.rounds += 1
         self.messages_per_round.append(0)
         self.bits_per_round.append(0)
+        if self._bits_by_id:
+            self._bits_by_id.clear()
+            self._bits_by_value.clear()
+
+    def message_bits(self, message: Message) -> int:
+        """The memoized :meth:`~repro.sim.messages.Message.bit_size`."""
+        entry = self._bits_by_id.get(id(message))
+        if entry is not None and entry[0] is message:
+            return entry[1]
+        try:
+            bits = self._bits_by_value[message]
+        except (KeyError, TypeError):
+            bits = message.bit_size(self.cost)
+            try:
+                self._bits_by_value[message] = bits
+            except TypeError:
+                pass  # unhashable message: identity caching only
+        self._bits_by_id[id(message)] = (message, bits)
+        return bits
 
     def record_send(self, sender: int, message: Message, *, byzantine: bool) -> None:
         """Charge one transmitted message to the appropriate ledger."""
-        bits = message.bit_size(self.cost)
+        self.record_sends(sender, message, 1, byzantine=byzantine)
+
+    def record_sends(
+        self, sender: int, message: Message, count: int, *, byzantine: bool
+    ) -> None:
+        """Charge ``count`` transmissions of one message at once.
+
+        This is the batched fast path behind a ``broadcast``: the bit
+        size is computed (or fetched from the cache) once and every
+        ledger advances by ``count``, leaving totals, per-round series,
+        and counters identical to ``count`` single ``record_send`` calls.
+        """
+        if not self.messages_per_round:
+            raise RuntimeError(
+                "record_send before begin_round: per-round ledgers would "
+                "silently drift from the running totals"
+            )
+        bits = self.message_bits(message)
+        total = bits * count
         if byzantine:
-            self.byzantine_messages += 1
-            self.byzantine_bits += bits
+            self.byzantine_messages += count
+            self.byzantine_bits += total
         else:
-            self.correct_messages += 1
-            self.correct_bits += bits
-        self.max_message_bits = max(self.max_message_bits, bits)
-        if self.messages_per_round:
-            self.messages_per_round[-1] += 1
-            self.bits_per_round[-1] += bits
-        self.sends_by_node[sender] += 1
-        self.sends_by_type[type(message).__name__] += 1
+            self.correct_messages += count
+            self.correct_bits += total
+        if bits > self.max_message_bits:
+            self.max_message_bits = bits
+        self.messages_per_round[-1] += count
+        self.bits_per_round[-1] += total
+        self.sends_by_node[sender] += count
+        self.sends_by_type[type(message).__name__] += count
 
     @property
     def total_messages(self) -> int:

@@ -19,10 +19,15 @@ from __future__ import annotations
 from random import Random
 from typing import Optional, Sequence
 
-from repro.adversary.base import CrashAdversary, CrashPlanError, NoCrashes
+from repro.adversary.base import (
+    CrashAdversary,
+    CrashPlanError,
+    NoCrashes,
+    kept_send_indices,
+)
 from repro.crypto.auth import Authenticator
 from repro.crypto.shared_randomness import SharedRandomness
-from repro.sim.messages import CostModel, Envelope, Send
+from repro.sim.messages import Broadcast, CostModel, Envelope, Send
 from repro.sim.metrics import Metrics
 from repro.sim.node import Context, Process, Program
 from repro.sim.trace import Trace
@@ -133,6 +138,18 @@ class SyncNetwork:
         ]
         self._programs: dict[int, Program] = {}
         self._pending: dict[int, list[Send]] = {}
+        # Alive-set bookkeeping, maintained incrementally: `_finish` and
+        # `_apply_crash_plan` retire indices as nodes terminate or crash,
+        # so `step`/`run` never rescan all n nodes.  The lists stay in
+        # ascending index order (retirement only removes elements), which
+        # preserves the deterministic iteration order of the original
+        # per-round list comprehensions.
+        self._alive_order: list[int] = list(range(self.n))
+        self._alive_set: set[int] = set(self._alive_order)
+        self._correct_order: list[int] = [
+            index for index in self._alive_order
+            if not self.processes[index].byzantine
+        ]
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -151,14 +168,33 @@ class SyncNetwork:
     def _finish(self, index: int, value: object) -> None:
         self.finished[index] = value
         self.processes[index].result = value
+        self._retire(index)
         self.trace.record(self.round_no, "terminate", index, value)
 
-    def _validated(self, index: int, sends) -> list[Send]:
-        out = list(sends)
-        for send in out:
-            if not 0 <= send.to < self.n:
+    def _retire(self, index: int) -> None:
+        """Drop a crashed or terminated node from the alive bookkeeping."""
+        if index in self._alive_set:
+            self._alive_set.discard(index)
+            self._alive_order.remove(index)
+            if not self.processes[index].byzantine:
+                self._correct_order.remove(index)
+
+    def _validated(self, index: int, sends):
+        if type(sends) is Broadcast:
+            # Targets are range(sends.n) by construction; one bound
+            # check replaces n per-send checks.
+            if sends.n > self.n:
                 raise ValueError(
-                    f"node {index} addressed link {send.to} outside [0, {self.n})"
+                    f"node {index} broadcast to {sends.n} links, network "
+                    f"has {self.n}"
+                )
+            return sends
+        out = list(sends)
+        n = self.n
+        for send in out:
+            if not 0 <= send.to < n:
+                raise ValueError(
+                    f"node {index} addressed link {send.to} outside [0, {n})"
                 )
         return out
 
@@ -166,18 +202,12 @@ class SyncNetwork:
     # Round execution
 
     def _alive_unfinished(self) -> list[int]:
-        return [
-            index
-            for index in range(self.n)
-            if index not in self.crashed and index not in self.finished
-        ]
+        """Alive, unfinished node indices in ascending order (a copy)."""
+        return list(self._alive_order)
 
     def _correct_pending(self) -> list[int]:
-        return [
-            index
-            for index in self._alive_unfinished()
-            if not self.processes[index].byzantine
-        ]
+        """Correct (non-Byzantine) alive, unfinished indices (a copy)."""
+        return list(self._correct_order)
 
     def _apply_crash_plan(self, proposed: dict[int, list[Send]]) -> dict[int, list[Send]]:
         """Validate the adversary's plan and return the delivered sends.
@@ -185,8 +215,15 @@ class SyncNetwork:
         The whole plan is validated before any state changes, so a
         rejected plan (:class:`CrashPlanError`) leaves ``self.crashed``
         and ``adversary.crashed`` untouched — no half-applied crashes.
+
+        Kept sends are resolved against the victim's proposed list by
+        *send index* (:func:`~repro.adversary.base.kept_send_indices`,
+        identity first, equality fallback) — the same rule the
+        falsification recorder uses — so the instance delivered is
+        always the proposed instance the recorded index names, even
+        when a victim proposed duplicate identical sends.
         """
-        alive = frozenset(self._alive_unfinished())
+        alive = frozenset(self._alive_set)
         plan = self.adversary.plan_round(self.round_no, proposed, alive, self.trace)
         victims = set(plan)
         if not victims:
@@ -202,20 +239,17 @@ class SyncNetwork:
             )
         kept_by_victim: dict[int, list[Send]] = {}
         for victim, kept in plan.items():
-            kept = list(kept)
-            remaining = list(proposed.get(victim, []))
-            for send in kept:
-                if send in remaining:
-                    remaining.remove(send)
-                else:
-                    raise CrashPlanError(
-                        f"victim {victim}: kept message {send} was never proposed"
-                    )
-            kept_by_victim[victim] = kept
+            sends = proposed.get(victim, [])
+            try:
+                indices = kept_send_indices(kept, sends)
+            except CrashPlanError as error:
+                raise CrashPlanError(f"victim {victim}: {error}") from None
+            kept_by_victim[victim] = [sends[i] for i in indices]
         delivered = dict(proposed)
         for victim, kept in kept_by_victim.items():
             delivered[victim] = kept
             self.crashed.add(victim)
+            self._retire(victim)
             self.trace.record(self.round_no, "crash", victim,
                               {"delivered": len(kept),
                                "proposed": len(proposed.get(victim, []))})
@@ -225,37 +259,74 @@ class SyncNetwork:
     def step(self) -> None:
         """Execute one synchronous round."""
         self.round_no += 1
-        self.metrics.begin_round()
-        for ctx in self.contexts:
-            ctx.current_round = self.round_no
+        round_no = self.round_no
+        metrics = self.metrics
+        contexts = self.contexts
+        processes = self.processes
+        metrics.begin_round()
+        for index in self._alive_order:
+            contexts[index].current_round = round_no
 
-        proposed = {
-            index: self._pending.get(index, [])
-            for index in self._alive_unfinished()
-        }
+        pending = self._pending
+        proposed = {index: pending.get(index, []) for index in self._alive_order}
         delivered = self._apply_crash_plan(proposed)
 
-        inboxes: dict[int, list[Envelope]] = {i: [] for i in range(self.n)}
+        # Inboxes exist only for alive recipients; messages addressed to
+        # crashed or terminated links vanish (they were still charged).
+        inboxes: dict[int, list[Envelope]] = {
+            index: [] for index in self._alive_order
+        }
+        alive_inboxes = list(inboxes.items())
+        inbox_of = inboxes.get
+        resolve = self.authenticator.resolve
         for sender, sends in delivered.items():
-            byz = self.processes[sender].byzantine
-            sender_true_uid = self.processes[sender].uid
-            for send in sends:
-                self.metrics.record_send(sender, send.message, byzantine=byz)
-                perceived_uid, claim = self.authenticator.resolve(
-                    sender_true_uid, send.claim
+            if not sends:
+                continue
+            process = processes[sender]
+            byz = process.byzantine
+            sender_true_uid = process.uid
+            if type(sends) is Broadcast and sends.n == self.n:
+                # Whole-network fan-out of one message: charge it in a
+                # single step and wrap it once per alive recipient,
+                # without materializing any per-link Send objects.
+                message = sends.message
+                metrics.record_sends(sender, message, sends.n, byzantine=byz)
+                perceived_uid, recorded_claim = resolve(
+                    sender_true_uid, sends.claim
                 )
-                inboxes[send.to].append(
-                    Envelope(
-                        sender=sender,
-                        to=send.to,
-                        round_no=self.round_no,
-                        message=send.message,
-                        sender_uid=perceived_uid,
-                        claimed_sender=claim,
-                    )
-                )
+                for to, inbox in alive_inboxes:
+                    inbox.append(Envelope(
+                        sender, to, round_no, message,
+                        perceived_uid, recorded_claim,
+                    ))
+                continue
+            total = len(sends)
+            i = 0
+            # Charge and wrap sends in runs sharing one message object
+            # (a broadcast is one such run): one bit-size computation
+            # and one ledger update per run instead of per send.
+            while i < total:
+                send = sends[i]
+                message = send.message
+                claim = send.claim
+                j = i + 1
+                while j < total:
+                    nxt = sends[j]
+                    if nxt.message is not message or nxt.claim != claim:
+                        break
+                    j += 1
+                metrics.record_sends(sender, message, j - i, byzantine=byz)
+                perceived_uid, recorded_claim = resolve(sender_true_uid, claim)
+                while i < j:
+                    inbox = inbox_of(sends[i].to)
+                    if inbox is not None:
+                        inbox.append(Envelope(
+                            sender, sends[i].to, round_no, message,
+                            perceived_uid, recorded_claim,
+                        ))
+                    i += 1
 
-        for index in self._alive_unfinished():
+        for index in tuple(self._alive_order):
             program = self._programs.get(index)
             if program is None:
                 continue
@@ -284,13 +355,16 @@ class SyncNetwork:
         self._start()
         for monitor in self.monitors:
             monitor.on_start(self)
-        while self._correct_pending():
+        while self._correct_order:
             if self.round_no >= self.max_rounds:
+                # One snapshot serves both the error message and the
+                # structured payload — no redundant recomputation.
+                pending = list(self._correct_order)
                 raise NonTerminationError(
                     f"protocol still running after {self.max_rounds} rounds; "
-                    f"pending correct nodes: {self._correct_pending()[:10]}",
+                    f"pending correct nodes: {pending[:10]}",
                     round_no=self.round_no,
-                    pending=self._correct_pending(),
+                    pending=pending,
                     trace=self.trace,
                     metrics=self.metrics,
                 )

@@ -29,7 +29,7 @@ from repro.sim.messages import CostModel, Envelope, Send
 Program = Generator[Sequence[Send], Sequence[Envelope], object]
 
 
-@dataclass
+@dataclass(slots=True)
 class Context:
     """Everything a node is allowed to know about its environment.
 

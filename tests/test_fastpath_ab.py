@@ -1,0 +1,433 @@
+"""A/B proof that the fast-path engine changes no counted result.
+
+``ReferenceNetwork`` is a deliberately naive executor: it re-derives the
+alive sets by scanning all ``n`` nodes every round, charges every send
+individually with a fresh ``bit_size`` computation, allocates inboxes
+for every link, and matches kept crash-plan sends by equality — the
+exact accounting of the engine before the hot-path overhaul.  The A/B
+tests run identical protocols (same processes, seeds, and adversary
+configurations) through both executors and require byte-identical
+``Metrics.summary()`` dicts, per-round ledgers, and node outputs.
+
+The duplicate-send regression pins the crash-plan fix: kept sends are
+resolved to *indices* by object identity end to end, so keeping the
+second of two equal sends records index 1 and replays exactly.
+"""
+
+from random import Random
+
+import pytest
+
+from repro.adversary.base import CrashPlanError, kept_send_indices
+from repro.adversary.crash import (
+    BudgetedAdaptiveCrash,
+    CommitteeHunter,
+    MidSendPartitioner,
+    RandomCrash,
+)
+from repro.analysis.experiments import default_namespace, sample_uids
+from repro.baselines.collect_rank import CollectRankNode
+from repro.core.crash_renaming import CrashRenamingConfig, CrashRenamingNode
+from repro.crypto.auth import Authenticator
+from repro.falsify.faulty import RacyRankNode
+from repro.falsify.replay import RecordingAdversary, ReplayAdversary
+from repro.sim.messages import (
+    Broadcast,
+    CostModel,
+    Envelope,
+    Message,
+    Send,
+    broadcast,
+)
+from repro.sim.metrics import Metrics
+from repro.sim.node import Context, Process
+from repro.sim.runner import run_network
+from repro.sim.trace import Trace
+
+
+class ReferenceNetwork:
+    """The pre-optimization engine semantics, kept as an oracle."""
+
+    def __init__(self, processes, cost, *, crash_adversary=None, seed=0):
+        from repro.adversary.base import NoCrashes
+
+        self.processes = list(processes)
+        self.n = len(self.processes)
+        self.cost = cost
+        self.adversary = crash_adversary or NoCrashes()
+        self.authenticator = Authenticator()
+        self.trace = Trace(enabled=False)
+        self.round_no = 0
+        self.crashed = set()
+        self.finished = {}
+        seed_root = Random(seed)
+        self.contexts = [
+            Context(n=self.n, namespace=cost.namespace, index=index,
+                    rng=Random(seed_root.getrandbits(64)), cost=cost)
+            for index in range(self.n)
+        ]
+        self._programs = {}
+        self._pending = {}
+        # Naive accounting: plain counters, no caching, no batching.
+        self.summary = {
+            "rounds": 0, "correct_messages": 0, "correct_bits": 0,
+            "byzantine_messages": 0, "byzantine_bits": 0,
+            "max_message_bits": 0,
+        }
+        self.messages_per_round = []
+        self.bits_per_round = []
+
+    def _alive_unfinished(self):
+        return [i for i in range(self.n)
+                if i not in self.crashed and i not in self.finished]
+
+    def _correct_pending(self):
+        return [i for i in self._alive_unfinished()
+                if not self.processes[i].byzantine]
+
+    def _start(self):
+        for index, process in enumerate(self.processes):
+            program = process.program(self.contexts[index])
+            try:
+                first_sends = next(program)
+            except StopIteration as stop:
+                self.finished[index] = stop.value
+                continue
+            self._programs[index] = program
+            self._pending[index] = list(first_sends)
+
+    def _apply_crash_plan(self, proposed):
+        alive = frozenset(self._alive_unfinished())
+        plan = self.adversary.plan_round(
+            self.round_no, proposed, alive, self.trace)
+        if not plan:
+            return proposed
+        kept_by_victim = {}
+        for victim, kept in plan.items():
+            kept = list(kept)
+            remaining = list(proposed.get(victim, []))
+            for send in kept:  # pre-PR equality matching
+                remaining.remove(send)
+            kept_by_victim[victim] = kept
+        delivered = dict(proposed)
+        for victim, kept in kept_by_victim.items():
+            delivered[victim] = kept
+            self.crashed.add(victim)
+        self.adversary.note_crashes(set(plan))
+        return delivered
+
+    def _record(self, message, byzantine):
+        bits = message.bit_size(self.cost)
+        kind = "byzantine" if byzantine else "correct"
+        self.summary[f"{kind}_messages"] += 1
+        self.summary[f"{kind}_bits"] += bits
+        self.summary["max_message_bits"] = max(
+            self.summary["max_message_bits"], bits)
+        self.messages_per_round[-1] += 1
+        self.bits_per_round[-1] += bits
+
+    def step(self):
+        self.round_no += 1
+        self.summary["rounds"] += 1
+        self.messages_per_round.append(0)
+        self.bits_per_round.append(0)
+        for ctx in self.contexts:
+            ctx.current_round = self.round_no
+
+        proposed = {i: self._pending.get(i, [])
+                    for i in self._alive_unfinished()}
+        delivered = self._apply_crash_plan(proposed)
+
+        inboxes = {i: [] for i in range(self.n)}
+        for sender, sends in delivered.items():
+            byz = self.processes[sender].byzantine
+            uid = self.processes[sender].uid
+            for send in sends:
+                self._record(send.message, byz)
+                perceived, claim = self.authenticator.resolve(uid, send.claim)
+                inboxes[send.to].append(Envelope(
+                    sender=sender, to=send.to, round_no=self.round_no,
+                    message=send.message, sender_uid=perceived,
+                    claimed_sender=claim))
+
+        for index in self._alive_unfinished():
+            program = self._programs.get(index)
+            if program is None:
+                continue
+            try:
+                self._pending[index] = list(program.send(inboxes[index]))
+            except StopIteration as stop:
+                self.finished[index] = stop.value
+                self._pending.pop(index, None)
+
+    def run(self):
+        self._start()
+        while self._correct_pending():
+            assert self.round_no < 10_000, "reference executor runaway"
+            self.step()
+        for index in sorted(set(self._programs) - set(self.finished)):
+            self._programs[index].close()
+
+
+def _observables_fast(processes_fn, cost, adversary_fn, seed):
+    result = run_network(processes_fn(), cost,
+                         crash_adversary=adversary_fn(), seed=seed)
+    metrics = result.metrics
+    return {
+        "summary": metrics.summary(),
+        "messages_per_round": list(metrics.messages_per_round),
+        "bits_per_round": list(metrics.bits_per_round),
+        "outputs": dict(result.results),
+        "crashed": set(result.crashed),
+    }
+
+
+def _observables_reference(processes_fn, cost, adversary_fn, seed):
+    network = ReferenceNetwork(processes_fn(), cost,
+                               crash_adversary=adversary_fn(), seed=seed)
+    network.run()
+    return {
+        "summary": dict(network.summary),
+        "messages_per_round": list(network.messages_per_round),
+        "bits_per_round": list(network.bits_per_round),
+        "outputs": dict(network.finished),
+        "crashed": set(network.crashed),
+    }
+
+
+def _population(n, seed):
+    namespace = default_namespace(n)
+    return sample_uids(n, namespace, Random(seed)), namespace
+
+
+class TestFastPathAB:
+    """Optimized and reference executors must count identically."""
+
+    def _assert_identical(self, processes_fn, cost, adversary_fn, seed):
+        fast = _observables_fast(processes_fn, cost, adversary_fn, seed)
+        reference = _observables_reference(
+            processes_fn, cost, adversary_fn, seed)
+        assert fast == reference
+
+    def test_gossip_broadcast_heavy_no_crashes(self):
+        uids, namespace = _population(14, seed=3)
+        cost = CostModel(n=14, namespace=namespace)
+        self._assert_identical(
+            lambda: [CollectRankNode(uid, assumed_faults=3) for uid in uids],
+            cost, lambda: None, seed=5)
+
+    @pytest.mark.parametrize("adversary_fn", [
+        lambda: RandomCrash(4, rate=0.15, rng=Random(11)),
+        lambda: MidSendPartitioner(4, rng=Random(12)),
+    ], ids=["random", "partitioner"])
+    def test_gossip_under_crashes(self, adversary_fn):
+        uids, namespace = _population(12, seed=7)
+        cost = CostModel(n=12, namespace=namespace)
+        self._assert_identical(
+            lambda: [CollectRankNode(uid, assumed_faults=4) for uid in uids],
+            cost, adversary_fn, seed=9)
+
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_crash_renaming_under_hunter(self, seed):
+        uids, namespace = _population(16, seed=seed)
+        cost = CostModel(n=16, namespace=namespace)
+        config = CrashRenamingConfig()
+        self._assert_identical(
+            lambda: [CrashRenamingNode(uid, config) for uid in uids],
+            cost, lambda: CommitteeHunter(4, rng=Random(seed + 1)),
+            seed=seed + 2)
+
+    def test_racy_rank_fixture(self):
+        uids, namespace = _population(10, seed=4)
+        cost = CostModel(n=10, namespace=namespace)
+        self._assert_identical(
+            lambda: [RacyRankNode(uid) for uid in uids],
+            cost, lambda: MidSendPartitioner(3, rng=Random(8)), seed=6)
+
+
+class _Tag(Message):
+    """Identity-equality message: distinguishes equal-valued sends."""
+
+    def payload_bits(self, cost):
+        return 2
+
+
+class _EqualTag(Message):
+    """All instances equal: the duplicate-send ambiguity trigger."""
+
+    def payload_bits(self, cost):
+        return 2
+
+    def __eq__(self, other):
+        return type(other) is _EqualTag
+
+    def __hash__(self):
+        return hash(_EqualTag)
+
+
+class _DupSender(Process):
+    """Round 1: two *equal* sends to link 0, then one ordinary round."""
+
+    def program(self, ctx):
+        yield [Send(0, _EqualTag()), Send(0, _EqualTag())]
+        yield []
+        return ctx.index
+
+
+class TestDuplicateSendCrashPlan:
+    """Kept sends resolve to indices by identity, end to end."""
+
+    def _run_recorded(self, keep_position):
+        def policy(round_no, proposed, alive, trace, remaining):
+            if round_no == 1 and 1 in alive:
+                return {1: [proposed[1][keep_position]]}
+            return {}
+
+        adversary = RecordingAdversary(BudgetedAdaptiveCrash(1, policy))
+        processes = [_DupSender(uid=10), _DupSender(uid=20)]
+        result = run_network(processes, CostModel(n=2, namespace=32),
+                             crash_adversary=adversary, seed=0)
+        return adversary.schedule, result
+
+    @pytest.mark.parametrize("keep_position", [0, 1])
+    def test_recorded_index_matches_kept_instance(self, keep_position):
+        schedule, result = self._run_recorded(keep_position)
+        # Equality matching cannot tell the two sends apart and always
+        # recorded index 0; identity matching records the true position.
+        assert schedule == {1: {1: (keep_position,)}}
+        # Node 0's two sends plus the victim's single kept send.
+        assert result.metrics.messages_per_round[0] == 3
+
+    @pytest.mark.parametrize("keep_position", [0, 1])
+    def test_strict_replay_reproduces_recording(self, keep_position):
+        schedule, recorded = self._run_recorded(keep_position)
+        replay = ReplayAdversary(schedule, strict=True)
+        processes = [_DupSender(uid=10), _DupSender(uid=20)]
+        replayed = run_network(processes, CostModel(n=2, namespace=32),
+                               crash_adversary=replay, seed=0)
+        assert replayed.metrics.summary() == recorded.metrics.summary()
+        assert replayed.results == recorded.results
+        assert replayed.crashed == recorded.crashed
+
+
+class TestKeptSendIndices:
+    def test_identity_match_beats_equality(self):
+        first, second = _EqualTag(), _EqualTag()
+        proposed = [Send(0, first), Send(0, second)]
+        assert proposed[0] == proposed[1]
+        assert kept_send_indices([proposed[1]], proposed) == (1,)
+        assert kept_send_indices([proposed[0]], proposed) == (0,)
+        assert kept_send_indices([proposed[1], proposed[0]], proposed) == (1, 0)
+
+    def test_equality_fallback_for_fresh_objects(self):
+        proposed = [Send(0, _EqualTag()), Send(1, _EqualTag())]
+        fresh = Send(1, _EqualTag())
+        assert kept_send_indices([fresh], proposed) == (1,)
+
+    def test_unmatched_send_raises(self):
+        proposed = [Send(0, _EqualTag())]
+        with pytest.raises(CrashPlanError, match="never proposed"):
+            kept_send_indices([Send(3, _EqualTag())], proposed)
+
+    def test_duplicate_identical_objects_consume_positions(self):
+        send = Send(0, _EqualTag())
+        proposed = [send, send]
+        assert kept_send_indices([send, send], proposed) == (0, 1)
+
+
+class TestBroadcastSequence:
+    def test_behaves_like_the_send_list(self):
+        message = _Tag()
+        fanout = broadcast(4, message)
+        assert isinstance(fanout, Broadcast)
+        assert len(fanout) == 4
+        assert [send.to for send in fanout] == [0, 1, 2, 3]
+        assert all(send.message is message for send in fanout)
+        assert list(fanout) == [Send(to, message) for to in range(4)]
+
+    def test_materialization_is_cached_for_identity_matching(self):
+        fanout = broadcast(3, _Tag())
+        assert fanout[1] is fanout[1]
+        assert list(fanout)[2] is fanout[2]
+
+    def test_oversized_broadcast_rejected(self):
+        class Overbroadcaster(Process):
+            def program(self, ctx):
+                yield broadcast(ctx.n + 1, _Tag())
+                return None
+
+        with pytest.raises(ValueError, match="broadcast to 3 links"):
+            run_network([Overbroadcaster(uid=1), Overbroadcaster(uid=2)],
+                        CostModel(n=2, namespace=8))
+
+    def test_negative_fanout_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Broadcast(-1, _Tag())
+
+
+class TestBitSizeCache:
+    class _CountingBlob(Message):
+        computations = 0
+
+        def __init__(self, payload):
+            self.payload = payload
+
+        def payload_bits(self, cost):
+            type(self).computations += 1
+            return self.payload
+
+        def __eq__(self, other):
+            return (type(other) is type(self)
+                    and other.payload == self.payload)
+
+        def __hash__(self):
+            return hash((type(self), self.payload))
+
+    def setup_method(self):
+        self._CountingBlob.computations = 0
+
+    def test_identity_hits_compute_once(self):
+        metrics = Metrics(cost=CostModel(n=4, namespace=16))
+        metrics.begin_round()
+        blob = self._CountingBlob(9)
+        for _ in range(50):
+            metrics.record_send(0, blob, byzantine=False)
+        assert self._CountingBlob.computations == 1
+        assert metrics.correct_messages == 50
+        assert metrics.correct_bits == 50 * blob.bit_size(metrics.cost)
+
+    def test_equality_fallback_hits_across_instances(self):
+        metrics = Metrics(cost=CostModel(n=4, namespace=16))
+        metrics.begin_round()
+        metrics.record_send(0, self._CountingBlob(9), byzantine=False)
+        metrics.record_send(0, self._CountingBlob(9), byzantine=False)
+        assert self._CountingBlob.computations == 1
+
+    def test_cache_resets_each_round(self):
+        metrics = Metrics(cost=CostModel(n=4, namespace=16))
+        blob = self._CountingBlob(9)
+        metrics.begin_round()
+        metrics.record_send(0, blob, byzantine=False)
+        metrics.begin_round()
+        metrics.record_send(0, blob, byzantine=False)
+        assert self._CountingBlob.computations == 2
+
+    def test_batched_record_matches_singles(self):
+        cost = CostModel(n=4, namespace=16)
+        batched, singles = Metrics(cost=cost), Metrics(cost=cost)
+        blob = self._CountingBlob(11)
+        batched.begin_round()
+        batched.record_sends(2, blob, 7, byzantine=True)
+        singles.begin_round()
+        for _ in range(7):
+            singles.record_send(2, blob, byzantine=True)
+        assert batched.summary() == singles.summary()
+        assert batched.messages_per_round == singles.messages_per_round
+        assert batched.bits_per_round == singles.bits_per_round
+        assert batched.sends_by_node == singles.sends_by_node
+        assert batched.sends_by_type == singles.sends_by_type
+
+    def test_record_before_begin_round_raises(self):
+        metrics = Metrics(cost=CostModel(n=4, namespace=16))
+        with pytest.raises(RuntimeError, match="begin_round"):
+            metrics.record_send(0, self._CountingBlob(3), byzantine=False)
