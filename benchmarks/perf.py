@@ -22,10 +22,15 @@ dominate real workloads:
     crash-plan application and the incrementally maintained alive sets.
 
 Results are written to ``BENCH_perf.json`` mapping each benchmark name
-(``<workload>_n<N>``) to ``{wall_s, rounds, messages, msgs_per_s}`` —
-the repo's perf trajectory.  The harness touches only the long-stable
-public simulator API, so it runs unmodified against older revisions for
-before/after comparisons.
+(``<workload>_n<N>``) to ``{wall_s, rounds, messages, msgs_per_s,
+phases}`` — the repo's perf trajectory.  ``phases`` is a
+self-describing :mod:`repro.obs` phase-profile report (plan / charge /
+deliver / advance wall times) measured on one *extra* instrumented
+execution; the timed repetitions always run with observability
+detached, so the headline numbers measure the uninstrumented fast
+path.  The harness touches only the long-stable public simulator API,
+so it runs unmodified against older revisions for before/after
+comparisons (older revisions simply omit ``phases``).
 """
 
 from __future__ import annotations
@@ -71,19 +76,22 @@ class BroadcastStorm(Process):
         return ctx.index + 1
 
 
-def run_broadcast_heavy(n: int, rounds: int = 6, seed: int = 7) -> ExecutionResult:
+def run_broadcast_heavy(n: int, rounds: int = 6, seed: int = 7,
+                        observer=None) -> ExecutionResult:
     """All-to-all traffic, no failures: n**2 envelopes per round."""
     cost = CostModel(n=n, namespace=4 * n)
     processes = [BroadcastStorm(index + 1, rounds) for index in range(n)]
-    return run_network(processes, cost, seed=seed)
+    return run_network(processes, cost, seed=seed, observer=observer)
 
 
-def run_crash_heavy(n: int, rounds: int = 8, seed: int = 7) -> ExecutionResult:
+def run_crash_heavy(n: int, rounds: int = 8, seed: int = 7,
+                    observer=None) -> ExecutionResult:
     """All-to-all traffic while a random adversary kills ~half the nodes."""
     cost = CostModel(n=n, namespace=4 * n)
     processes = [BroadcastStorm(index + 1, rounds) for index in range(n)]
     adversary = RandomCrash(budget=n // 2, rate=0.08, rng=Random(seed + 1))
-    return run_network(processes, cost, crash_adversary=adversary, seed=seed)
+    return run_network(processes, cost, crash_adversary=adversary, seed=seed,
+                       observer=observer)
 
 
 def time_execution(
@@ -113,14 +121,22 @@ def run_perf(
     progress: Callable[[str, dict], None] | None = None,
 ) -> dict[str, dict]:
     """Run the benchmark matrix; returns ``{name: stats}`` in run order."""
+    from repro.obs import EventRecorder
+
     results: dict[str, dict] = {}
     for n in sizes:
         for workload, fn in (
-            ("broadcast", lambda n=n: run_broadcast_heavy(n)),
-            ("crash", lambda n=n: run_crash_heavy(n)),
+            ("broadcast", lambda n=n, **kw: run_broadcast_heavy(n, **kw)),
+            ("crash", lambda n=n, **kw: run_crash_heavy(n, **kw)),
         ):
             name = f"{workload}_n{n}"
             stats = time_execution(fn, repeat)
+            # One extra instrumented execution for the phase breakdown;
+            # the timed repetitions above ran with observability
+            # detached so wall_s/msgs_per_s measure the fast path.
+            recorder = EventRecorder(capacity=4, profile=True)
+            fn(observer=recorder)
+            stats["phases"] = recorder.profiler.report()
             results[name] = stats
             if progress is not None:
                 progress(name, stats)

@@ -11,6 +11,9 @@ Examples::
     python -m repro perf --quick
     python -m repro falsify --n 8,12 --seeds 0-3 --jobs 4
     python -m repro falsify --replay .repro/repros/repro-crash-....json
+    python -m repro obs profile --scenario crash --n 32 --f 4
+    python -m repro obs tail events.jsonl --last 20
+    python -m repro obs report --driver crash
 """
 
 from __future__ import annotations
@@ -150,14 +153,22 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     except (TypeError, ValueError) as error:
         raise SystemExit(f"python -m repro sweep: error: {error}")
     store = _open_store(args)
+    observer = None
+    if args.telemetry:
+        from repro.obs import EventRecorder
+
+        observer = EventRecorder(profile=True)
     try:
         results = run_requests(
             requests, jobs=args.jobs, store=store,
-            timeout=args.timeout,
+            timeout=args.timeout, observer=observer,
         )
     finally:
         if store is not None:
             store.close()
+    if observer is not None and observer.profiler:
+        print(json.dumps(observer.profiler.report(), indent=2),
+              file=sys.stderr)
 
     ok_rows = [r.row for r in results if r.ok]
     _print_rows(ok_rows, args.format)
@@ -250,6 +261,100 @@ def cmd_falsify(args: argparse.Namespace) -> int:
         broken_replay = broken_replay or not finding.replayed
     print(f"{len(result.findings)} violation(s); artifacts in {args.out}")
     return 2 if broken_replay else 1
+
+
+def cmd_obs(args: argparse.Namespace) -> int:
+    handler = {
+        "tail": _obs_tail,
+        "profile": _obs_profile,
+        "report": _obs_report,
+    }[args.obs_command]
+    return handler(args)
+
+
+def _obs_tail(args: argparse.Namespace) -> int:
+    """Validate an event file and print its most recent events."""
+    from repro.obs import read_jsonl, validate_events
+
+    try:
+        events = read_jsonl(args.path)
+    except (OSError, ValueError) as error:
+        print(f"python -m repro obs tail: {error}", file=sys.stderr)
+        return 1
+    problems = validate_events(events)
+    for problem in problems:
+        print(f"INVALID {problem}", file=sys.stderr)
+    for event in events[-args.last:]:
+        print(json.dumps(event, sort_keys=True))
+    print(f"\n{len(events)} events, {len(problems)} schema problems",
+          file=sys.stderr)
+    return 1 if problems else 0
+
+
+def _obs_profile(args: argparse.Namespace) -> int:
+    """Profile one scenario execution; print the phase report."""
+    from repro.obs import EventRecorder, profile_scenario
+
+    recorder = EventRecorder(profile=True)
+    try:
+        result, report = profile_scenario(
+            args.scenario, args.n, args.f, args.seed,
+            adversary=args.adversary, observer=recorder,
+            params=_parse_params(args.param),
+        )
+    except Exception as error:
+        print(f"python -m repro obs profile: {error}", file=sys.stderr)
+        return 1
+    if args.events:
+        path = recorder.write_jsonl(args.events)
+        print(f"wrote {len(recorder)} events to {path}", file=sys.stderr)
+    print(json.dumps(report, indent=2))
+    print(
+        f"\n{args.scenario}: n={args.n} f={args.f} seed={args.seed} "
+        f"adversary={args.adversary}: {result.rounds} rounds, "
+        f"{result.metrics.correct_messages} messages, "
+        f"{result.metrics.correct_bits} bits, "
+        f"{len(result.crashed)} crashed",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _obs_report(args: argparse.Namespace) -> int:
+    """Aggregate the store's telemetry table per driver."""
+    store = _open_store(args)
+    if store is None:
+        print("python -m repro obs report: needs a store", file=sys.stderr)
+        return 1
+    try:
+        rows = store.telemetry_rows(
+            key="run", driver=args.driver, limit=args.limit)
+    finally:
+        store.close()
+    if not rows:
+        print("no telemetry recorded (run a sweep with --telemetry)")
+        return 0
+    by_driver: dict = {}
+    for _hash, _key, value in rows:
+        bucket = by_driver.setdefault(value.get("driver", "?"), {
+            "runs": 0, "failed": 0, "wall_s": 0.0, "retries": 0,
+        })
+        bucket["runs"] += 1
+        bucket["failed"] += value.get("status") != "ok"
+        bucket["wall_s"] += value.get("elapsed_s") or 0.0
+        bucket["retries"] += (value.get("attempts") or 1) > 1
+    _print_rows([
+        {
+            "driver": driver,
+            "runs": stats["runs"],
+            "failed": stats["failed"],
+            "retries": stats["retries"],
+            "wall_s": round(stats["wall_s"], 3),
+            "mean_s": round(stats["wall_s"] / stats["runs"], 4),
+        }
+        for driver, stats in sorted(by_driver.items())
+    ], args.format)
+    return 0
 
 
 def _import_perf_harness():
@@ -426,6 +531,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run without reading or writing the store")
     sweep.add_argument("--format", choices=["plain", "md", "json"],
                        default="plain")
+    sweep.add_argument("--telemetry", action="store_true",
+                       help="record engine events + per-driver timings; "
+                            "persists telemetry rows into the store")
     sweep.set_defaults(func=cmd_sweep)
 
     falsify = sub.add_parser(
@@ -484,6 +592,51 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--out", default="BENCH_perf.json",
                       help="output JSON path (default BENCH_perf.json)")
     perf.set_defaults(func=cmd_perf)
+
+    obs = sub.add_parser(
+        "obs", help="observability: inspect events, profile, telemetry"
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+
+    obs_tail = obs_sub.add_parser(
+        "tail", help="validate an event JSONL file and print the tail"
+    )
+    obs_tail.add_argument("path", help="event file written by the recorder")
+    obs_tail.add_argument("--last", type=int, default=20,
+                          help="events to print (default 20)")
+    obs_tail.set_defaults(func=cmd_obs)
+
+    obs_profile = obs_sub.add_parser(
+        "profile", help="run one scenario with the phase profiler on"
+    )
+    obs_profile.add_argument("--scenario", default="crash",
+                             help="falsification scenario name "
+                                  "(default: crash)")
+    obs_profile.add_argument("--n", type=int, default=32)
+    obs_profile.add_argument("--f", type=int, default=4)
+    obs_profile.add_argument("--seed", type=int, default=1)
+    obs_profile.add_argument("--adversary", default="random",
+                             help="none, random, hunter, partitioner")
+    obs_profile.add_argument("--events", default=None, metavar="PATH",
+                             help="also write the event stream as JSONL")
+    obs_profile.add_argument("--param", action="append", default=[],
+                             metavar="KEY=VALUE",
+                             help="extra scenario keyword (JSON value); "
+                                  "repeatable")
+    obs_profile.set_defaults(func=cmd_obs)
+
+    obs_report = obs_sub.add_parser(
+        "report", help="aggregate stored sweep telemetry per driver"
+    )
+    obs_report.add_argument("--driver", default=None,
+                            help="restrict to one driver")
+    obs_report.add_argument("--limit", type=int, default=None)
+    obs_report.add_argument("--format", choices=["plain", "md", "json"],
+                            default="plain")
+    obs_report.add_argument("--store", default=None,
+                            help="run-store path (default $REPRO_STORE or "
+                                 ".repro/runs.sqlite)")
+    obs_report.set_defaults(func=cmd_obs)
 
     runs = sub.add_parser(
         "runs", help="list/query/export cached runs from the store"

@@ -100,7 +100,20 @@ class CrashAdversary:
         alive: frozenset[int],
         trace: Trace,
     ) -> CrashPlan:
-        """Decide this round's crashes.  Default: crash nobody."""
+        """Decide this round's crashes.  Default: crash nobody.
+
+        ``proposed`` maps each alive link index to that node's proposed
+        outgoing sends **as an abstract sequence, not necessarily a
+        list**: a node that broadcasts yields a lazy
+        :class:`~repro.sim.messages.Broadcast`, which materializes its
+        ``Send`` objects once, on first access, and then returns the
+        *same* instances on every later access.  Adversaries may index,
+        slice, and iterate it freely; because the instances are stable,
+        a kept subset taken from it resolves by object identity in
+        :func:`kept_send_indices`, so mid-send crashes of broadcasting
+        victims record and replay exactly (see
+        ``tests/test_adversary_crash.py::TestBroadcastMidSendCrash``).
+        """
         raise NotImplementedError
 
     def note_crashes(self, victims: set[int]) -> None:

@@ -144,6 +144,7 @@ def run_balls_into_slots(
     seed: int = 0,
     trace: bool = False,
     monitors: Sequence[object] = (),
+    observer: Optional[object] = None,
 ) -> ExecutionResult:
     """Run the balls-into-slots baseline for nodes with ids ``uids``.
 
@@ -163,5 +164,5 @@ def run_balls_into_slots(
     processes = [BallsIntoSlotsNode(uid, slots=slots) for uid in uids]
     return run_network(
         processes, cost, crash_adversary=adversary, seed=seed, trace=trace,
-        monitors=monitors,
+        monitors=monitors, observer=observer,
     )

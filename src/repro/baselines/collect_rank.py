@@ -78,6 +78,7 @@ def run_collect_rank(
     seed: int = 0,
     trace: bool = False,
     monitors: Sequence[object] = (),
+    observer: Optional[object] = None,
 ) -> ExecutionResult:
     """Run the gossip baseline for nodes with identities ``uids``."""
     uids = list(uids)
@@ -89,5 +90,5 @@ def run_collect_rank(
     processes = [CollectRankNode(uid, assumed_faults) for uid in uids]
     return run_network(
         processes, cost, crash_adversary=adversary, seed=seed, trace=trace,
-        monitors=monitors,
+        monitors=monitors, observer=observer,
     )

@@ -99,6 +99,7 @@ def run_obg_halving(
     seed: int = 0,
     trace: bool = False,
     monitors: Sequence[object] = (),
+    observer: Optional[object] = None,
 ) -> ExecutionResult:
     """Run the all-to-all halving baseline for nodes with ids ``uids``."""
     uids = list(uids)
@@ -110,5 +111,5 @@ def run_obg_halving(
     processes = [ObgHalvingNode(uid) for uid in uids]
     return run_network(
         processes, cost, crash_adversary=adversary, seed=seed, trace=trace,
-        monitors=monitors,
+        monitors=monitors, observer=observer,
     )

@@ -459,6 +459,7 @@ def run_byzantine_renaming(
     trace: bool = False,
     max_rounds: int = 200_000,
     monitors: Sequence[object] = (),
+    observer: Optional[object] = None,
 ) -> ExecutionResult:
     """Run the Byzantine-resilient algorithm.
 
@@ -501,4 +502,5 @@ def run_byzantine_renaming(
         trace=trace,
         max_rounds=max_rounds,
         monitors=monitors,
+        observer=observer,
     )

@@ -280,6 +280,7 @@ def run_crash_renaming(
     seed: int = 0,
     trace: bool = False,
     monitors: Sequence[object] = (),
+    observer: Optional[object] = None,
 ) -> ExecutionResult:
     """Run the crash-resilient algorithm for nodes with identities ``uids``.
 
@@ -303,4 +304,5 @@ def run_crash_renaming(
         seed=seed,
         trace=trace,
         monitors=monitors,
+        observer=observer,
     )

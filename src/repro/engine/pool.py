@@ -23,6 +23,7 @@ dispatch overhead on the many-small-runs workloads typical of sweeps.
 
 from __future__ import annotations
 
+import multiprocessing
 import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
@@ -79,33 +80,64 @@ def _worker(batch: list[tuple[int, RunRequest]]) -> list[tuple[int, RunResult]]:
     return [(index, _run_one(request)) for index, request in batch]
 
 
+def _isolated_entry(connection, request: RunRequest) -> None:
+    """Child-process entry point for :func:`_run_isolated`."""
+    try:
+        connection.send(_run_one(request))
+    finally:
+        connection.close()
+
+
 def _run_isolated(request: RunRequest,
                   timeout: Optional[float]) -> RunResult:
-    """Retry one task in a fresh single-worker pool.
+    """Retry one task in a dedicated, killable worker process.
 
     Isolation is the point: if *this* task is the one that wedged or
-    killed its original chunk's worker, only its own retry pool breaks.
-    A hung retry is terminated at ``timeout`` so the sweep carries on.
+    killed its original chunk's worker, only its own retry worker
+    breaks.  The worker is a :class:`multiprocessing.Process` we own
+    directly — unlike a ``ProcessPoolExecutor``, whose workers are
+    reachable only through the private ``_processes`` attribute — so a
+    hung retry is terminated at ``timeout`` through the public
+    ``Process.terminate()``/``kill()`` API and the sweep carries on.
     """
-    pool = ProcessPoolExecutor(max_workers=1)
+    receiver, sender = multiprocessing.Pipe(duplex=False)
+    worker = multiprocessing.Process(
+        target=_isolated_entry, args=(sender, request), daemon=True,
+    )
+    worker.start()
+    sender.close()
     try:
-        future = pool.submit(_worker, [(0, request)])
-        outcomes = dict(future.result(timeout=timeout))
-        return outcomes[0]
-    except FutureTimeoutError:
-        for process in list(pool._processes.values()):
-            process.terminate()
-        return RunResult(
-            request=request, status="failed",
-            error=f"timed out: task exceeded {timeout:.1f}s on retry",
-        )
-    except Exception:  # BrokenProcessPool and kin
+        if not receiver.poll(timeout):
+            worker.terminate()
+            worker.join(5.0)
+            if worker.is_alive():  # pragma: no cover - SIGTERM ignored
+                worker.kill()
+                worker.join()
+            return RunResult(
+                request=request, status="failed",
+                error=f"timed out: task exceeded {timeout:.1f}s on retry",
+            )
+        try:
+            return receiver.recv()
+        except EOFError:
+            # The worker died before sending a result (OOM kill, hard
+            # crash) — poll() saw the pipe close, not a payload.
+            worker.join(5.0)
+            return RunResult(
+                request=request, status="failed",
+                error=f"retry worker died with exit code {worker.exitcode}",
+            )
+    except Exception:
         return RunResult(
             request=request, status="failed",
             error=traceback.format_exc(limit=8),
         )
     finally:
-        pool.shutdown(wait=True)
+        receiver.close()
+        worker.join(5.0)
+        if worker.is_alive():  # pragma: no cover - defensive teardown
+            worker.kill()
+            worker.join()
 
 
 def _chunk(tasks: list, size: int) -> list[list]:
@@ -127,6 +159,7 @@ def run_requests(
     chunksize: Optional[int] = None,
     progress: Optional[Callable[[int, int], None]] = None,
     retry_backoff: float = 0.25,
+    observer: Optional[object] = None,
 ) -> list[RunResult]:
     """Execute ``requests``; return results in request order.
 
@@ -152,8 +185,18 @@ def run_requests(
         wedged sibling — often need a beat to clear).  Each task gets
         exactly one retry; a task that fails twice is recorded failed
         with both errors.
+    observer:
+        Optional :class:`repro.obs.Observer`.  When enabled, emits
+        ``engine.*`` events (store hit/miss, chunk dispatch/timeout/
+        broken, task retry/settle), accumulates per-driver wall time
+        into ``observer.profiler`` as ``driver:<name>`` phases, and —
+        when a ``store`` is also given — persists a telemetry row per
+        freshly-executed request under its run hash.
     """
     requests = list(requests)
+    obs = observer if (observer is not None
+                       and getattr(observer, "enabled", False)) else None
+    prof = getattr(observer, "profiler", None) if observer is not None else None
     results: list[Optional[RunResult]] = [None] * len(requests)
     version = code_version()
     hashes = [
@@ -174,6 +217,12 @@ def run_requests(
                     bits_per_round=bits_per_round or None,
                     attempts=0,
                 )
+                if obs is not None:
+                    obs.emit("engine.store.hit", driver=requests[index].driver,
+                             run_hash=hash_)
+            elif obs is not None:
+                obs.emit("engine.store.miss", driver=requests[index].driver,
+                         run_hash=hash_)
 
     pending = [i for i, result in enumerate(results) if result is None]
 
@@ -195,6 +244,14 @@ def run_requests(
 
     def settle(index: int, result: RunResult) -> None:
         nonlocal done
+        if prof is not None:
+            prof.add(f"driver:{requests[index].driver}", result.elapsed)
+        if obs is not None:
+            obs.emit(
+                "engine.task.settle", driver=requests[index].driver,
+                status=result.status, attempts=result.attempts,
+                elapsed_s=result.elapsed,
+            )
         for target in (index, *followers.get(index, ())):
             results[target] = RunResult(
                 request=requests[target], status=result.status,
@@ -215,6 +272,16 @@ def run_requests(
                     messages_per_round=result.messages_per_round,
                     bits_per_round=result.bits_per_round,
                 )
+                if obs is not None:
+                    store.put_telemetry(hashes[target], "run", {
+                        "driver": request.driver, "n": request.n,
+                        "f": request.f, "seed": request.seed,
+                        "status": result.status,
+                        "elapsed_s": result.elapsed,
+                        "attempts": result.attempts,
+                        "rounds": (len(result.messages_per_round)
+                                   if result.messages_per_round else None),
+                    })
             done += 1
 
     if jobs <= 1 or len(unique_pending) <= 1:
@@ -227,9 +294,17 @@ def run_requests(
         chunks = _chunk([(i, requests[i]) for i in unique_pending], size)
         retry: list[tuple[int, RunRequest, str]] = []
         hung = False
+        # Snapshot our pre-existing children so the hung-pool cleanup
+        # below can tell the executor's workers apart from unrelated
+        # processes (e.g. a caller's own multiprocessing children)
+        # without reaching into the executor's private ``_processes``.
+        preexisting = {child.pid for child in multiprocessing.active_children()}
         pool = ProcessPoolExecutor(max_workers=min(jobs, len(chunks)))
         try:
             futures = [pool.submit(_worker, chunk) for chunk in chunks]
+            if obs is not None:
+                obs.emit("engine.chunk.dispatch", chunks=len(chunks),
+                         chunksize=size, jobs=min(jobs, len(chunks)))
             for chunk, future in zip(chunks, futures):
                 budget = None if timeout is None else timeout * len(chunk)
                 try:
@@ -240,10 +315,15 @@ def run_requests(
                     first_error = (f"timed out: chunk exceeded {budget:.1f}s"
                                    f" ({len(chunk)} tasks)")
                     retry.extend((i, r, first_error) for i, r in chunk)
+                    if obs is not None:
+                        obs.emit("engine.chunk.timeout", tasks=len(chunk),
+                                 budget_s=budget)
                     continue
                 except Exception:  # BrokenProcessPool and kin
                     first_error = traceback.format_exc(limit=8)
                     retry.extend((i, r, first_error) for i, r in chunk)
+                    if obs is not None:
+                        obs.emit("engine.chunk.broken", tasks=len(chunk))
                     continue
                 for index, _request in chunk:
                     settle(index, outcomes[index])
@@ -252,13 +332,22 @@ def run_requests(
         finally:
             if hung:
                 # A timed-out chunk may still be running; don't let
-                # shutdown block on it.
-                for process in list(pool._processes.values()):
-                    process.terminate()
-            pool.shutdown(wait=True)
+                # shutdown block on it.  cancel_futures drops queued
+                # work, then terminating the executor's surviving
+                # workers (the active children we did not have before
+                # creating the pool) unsticks the wedged chunk.
+                pool.shutdown(wait=False, cancel_futures=True)
+                for child in multiprocessing.active_children():
+                    if child.pid not in preexisting:
+                        child.terminate()
+            else:
+                pool.shutdown(wait=True)
         if retry and retry_backoff > 0:
             time.sleep(retry_backoff)
         for index, request, first_error in retry:
+            if obs is not None:
+                obs.emit("engine.task.retry", driver=request.driver,
+                         n=request.n, seed=request.seed)
             result = _run_isolated(request, timeout)
             result.request = request
             result.attempts = 2

@@ -19,6 +19,13 @@ Two tables:
     The per-round ``(messages, bits)`` ledger of each stored run —
     the raw material for round-resolved plots without re-executing.
 
+``telemetry``
+    Opt-in observability rows keyed by run hash: one ``(key, JSON
+    value)`` pair per aspect (execution timing, retry counts, phase
+    profiles).  Written only when a sweep runs with an observer
+    attached (see :mod:`repro.obs`); ``python -m repro obs report``
+    aggregates it.
+
 The store is written only by the coordinating process (workers return
 results over the pool), so WAL mode is plenty for concurrent *readers*
 such as a ``python -m repro runs`` session watching a sweep fill in.
@@ -65,6 +72,13 @@ CREATE TABLE IF NOT EXISTS ledgers (
     messages INTEGER NOT NULL,
     bits     INTEGER NOT NULL,
     PRIMARY KEY (run_hash, round)
+);
+CREATE TABLE IF NOT EXISTS telemetry (
+    run_hash TEXT NOT NULL,
+    key      TEXT NOT NULL,
+    value    TEXT NOT NULL,
+    created  REAL NOT NULL,
+    PRIMARY KEY (run_hash, key)
 );
 """
 
@@ -225,15 +239,31 @@ class RunStore:
                     ],
                 )
 
+    def put_telemetry(self, hash_: str, key: str, value: object) -> None:
+        """Attach one observability row to a run hash.
+
+        ``value`` is any JSON-serializable object; re-putting the same
+        ``(hash, key)`` replaces the previous value.
+        """
+        with self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO telemetry"
+                " (run_hash, key, value, created) VALUES (?, ?, ?, ?)",
+                (hash_, key, canonical_json(value), time.time()),
+            )
+
     def delete(self, hash_: str) -> None:
         with self._conn:
             self._conn.execute("DELETE FROM ledgers WHERE run_hash = ?",
+                               (hash_,))
+            self._conn.execute("DELETE FROM telemetry WHERE run_hash = ?",
                                (hash_,))
             self._conn.execute("DELETE FROM runs WHERE hash = ?", (hash_,))
 
     def clear(self) -> None:
         with self._conn:
             self._conn.execute("DELETE FROM ledgers")
+            self._conn.execute("DELETE FROM telemetry")
             self._conn.execute("DELETE FROM runs")
 
     # -- reads --------------------------------------------------------
@@ -297,6 +327,45 @@ class RunStore:
             sql += " LIMIT ?"
             values.append(limit)
         return [self._decode(r) for r in self._conn.execute(sql, values)]
+
+    def telemetry(self, hash_: str) -> dict:
+        """All telemetry rows of one run, as ``{key: decoded value}``."""
+        return {
+            key: json.loads(value)
+            for key, value in self._conn.execute(
+                "SELECT key, value FROM telemetry WHERE run_hash = ?"
+                " ORDER BY key", (hash_,)
+            )
+        }
+
+    def telemetry_rows(
+        self, *, key: Optional[str] = None, driver: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> list[tuple[str, str, dict]]:
+        """``(run_hash, key, value)`` telemetry rows, oldest first.
+
+        ``driver`` filters through the ``runs`` table; telemetry whose
+        run row is gone still matches when ``driver`` is ``None``.
+        """
+        clauses, values = [], []
+        sql = ("SELECT t.run_hash, t.key, t.value FROM telemetry t")
+        if driver is not None:
+            sql += " JOIN runs r ON r.hash = t.run_hash"
+            clauses.append("r.driver = ?")
+            values.append(driver)
+        if key is not None:
+            clauses.append("t.key = ?")
+            values.append(key)
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        sql += " ORDER BY t.created, t.run_hash, t.key"
+        if limit is not None:
+            sql += " LIMIT ?"
+            values.append(limit)
+        return [
+            (hash_, key_, json.loads(value))
+            for hash_, key_, value in self._conn.execute(sql, values)
+        ]
 
     def stats(self) -> dict:
         """Aggregate counts for the CLI footer."""

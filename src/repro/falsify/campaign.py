@@ -257,11 +257,25 @@ def run_campaign(
     store: Optional[RunStore] = None,
     progress: Optional[Callable[[int, int], None]] = None,
     clock: Callable[[], float] = time.monotonic,
+    observer: Optional[object] = None,
 ) -> CampaignResult:
-    """Run a campaign: probe the grid, shrink and verify every finding."""
+    """Run a campaign: probe the grid, shrink and verify every finding.
+
+    ``observer`` (a :class:`repro.obs.Observer`, optional) receives the
+    probe lifecycle as ``campaign.*`` events: one ``campaign.begin`` /
+    ``campaign.end`` pair, a ``campaign.batch`` per probe batch handed
+    to the engine, and a ``campaign.finding`` plus a ``campaign.shrink``
+    span per falsified configuration.
+    """
     from repro.engine.pool import run_requests
 
+    obs = observer if (observer is not None
+                       and getattr(observer, "enabled", False)) else None
     requests = campaign_requests(config)
+    if obs is not None:
+        obs.emit("campaign.begin", probes=len(requests),
+                 scenarios=",".join(config.scenarios),
+                 adversaries=",".join(config.adversaries))
     batch_size = max(4 * max(config.jobs, 1), 8)
     started = clock()
     results: list = []
@@ -273,15 +287,19 @@ def run_campaign(
             skipped = len(requests) - cursor
             break
         batch = requests[cursor:cursor + batch_size]
+        if obs is not None:
+            obs.emit("campaign.batch", cursor=cursor, size=len(batch))
         try:
             results.extend(run_requests(
                 batch, jobs=config.jobs, store=store, timeout=config.timeout,
+                observer=observer,
             ))
         except Exception:
             # The pool itself broke (not one task): degrade to serial
             # in-process execution rather than dropping the batch.
             degraded = True
-            results.extend(run_requests(batch, jobs=1, store=store))
+            results.extend(run_requests(batch, jobs=1, store=store,
+                                        observer=observer))
         if progress is not None:
             progress(len(results), len(requests))
 
@@ -290,11 +308,20 @@ def run_campaign(
         if not (result.ok and result.row and result.row.get("violation")):
             continue
         raw = artifact_from_row(result.row, result.request.params_dict())
+        if obs is not None:
+            obs.emit("campaign.finding", scenario=raw.scenario,
+                     invariant=raw.invariant, n=raw.n, seed=raw.seed)
         report: Optional[ShrinkReport] = None
         artifact = raw
         if config.shrink:
-            report = shrink_artifact(
-                raw, max_executions=config.max_shrink_executions)
+            if obs is not None:
+                with obs.span("campaign.shrink", scenario=raw.scenario,
+                              seed=raw.seed):
+                    report = shrink_artifact(
+                        raw, max_executions=config.max_shrink_executions)
+            else:
+                report = shrink_artifact(
+                    raw, max_executions=config.max_shrink_executions)
             artifact = report.artifact
         replayed = replay_artifact(artifact) is not None
         findings.append(Finding(
@@ -304,6 +331,9 @@ def run_campaign(
 
     failures = [result for result in results if not result.ok]
     cached = sum(1 for result in results if result.cached)
+    if obs is not None:
+        obs.emit("campaign.end", findings=len(findings),
+                 failures=len(failures), cached=cached, skipped=skipped)
     return CampaignResult(
         findings=findings,
         results=results,

@@ -26,7 +26,8 @@ from repro.falsify.monitors import Monitor, default_monitors
 from repro.sim.messages import CostModel
 from repro.sim.runner import ExecutionResult, run_network
 
-#: ``fn(n, f, seed, adversary, monitors, params) -> ExecutionResult``
+#: ``fn(n, f, seed, adversary, monitors, params, observer=None)``
+#: ``-> ExecutionResult``
 ScenarioFn = Callable[..., ExecutionResult]
 
 
@@ -108,10 +109,12 @@ def run_scenario(
     adversary: Optional[CrashAdversary] = None,
     monitors: tuple[Monitor, ...] = (),
     params: Optional[dict] = None,
+    observer: Optional[object] = None,
 ) -> ExecutionResult:
     """Execute one scenario under an explicit adversary and monitors."""
     scenario = resolve_scenario(name)
-    return scenario.run(n, f, seed, adversary, monitors, dict(params or {}))
+    return scenario.run(n, f, seed, adversary, monitors, dict(params or {}),
+                        observer=observer)
 
 
 # ---------------------------------------------------------------------------
@@ -125,7 +128,7 @@ def _population(n: int, seed: int) -> tuple[list[int], int]:
     return sample_uids(n, namespace, Random(seed)), namespace
 
 
-def _crash_scenario(n, f, seed, adversary, monitors, params):
+def _crash_scenario(n, f, seed, adversary, monitors, params, observer=None):
     from repro.analysis.experiments import EXPERIMENT_ELECTION_CONSTANT
     from repro.core.crash_renaming import (
         CrashRenamingConfig,
@@ -140,48 +143,50 @@ def _crash_scenario(n, f, seed, adversary, monitors, params):
     )
     return run_crash_renaming(
         uids, namespace=namespace, adversary=adversary, config=config,
-        seed=seed + 2, trace=True, monitors=monitors,
+        seed=seed + 2, trace=True, monitors=monitors, observer=observer,
     )
 
 
-def _obg_scenario(n, f, seed, adversary, monitors, params):
+def _obg_scenario(n, f, seed, adversary, monitors, params, observer=None):
     from repro.baselines.obg_halving import run_obg_halving
 
     uids, namespace = _population(n, seed)
     return run_obg_halving(
         uids, namespace=namespace, adversary=adversary,
-        seed=seed + 2, trace=True, monitors=monitors,
+        seed=seed + 2, trace=True, monitors=monitors, observer=observer,
     )
 
 
-def _balls_scenario(n, f, seed, adversary, monitors, params):
+def _balls_scenario(n, f, seed, adversary, monitors, params, observer=None):
     from repro.baselines.balls_into_slots import run_balls_into_slots
 
     uids, namespace = _population(n, seed)
     return run_balls_into_slots(
         uids, namespace=namespace, slots=params.get("slots"),
-        adversary=adversary, seed=seed + 2, trace=True, monitors=monitors,
+        adversary=adversary, seed=seed + 2, trace=True,
+        monitors=monitors, observer=observer,
     )
 
 
-def _gossip_scenario(n, f, seed, adversary, monitors, params):
+def _gossip_scenario(n, f, seed, adversary, monitors, params, observer=None):
     from repro.baselines.collect_rank import run_collect_rank
 
     uids, namespace = _population(n, seed)
     return run_collect_rank(
         uids, namespace=namespace, adversary=adversary,
         assumed_faults=params.get("assumed_faults"),
-        seed=seed + 2, trace=True, monitors=monitors,
+        seed=seed + 2, trace=True, monitors=monitors, observer=observer,
     )
 
 
-def _planted_duplicate_scenario(n, f, seed, adversary, monitors, params):
+def _planted_duplicate_scenario(n, f, seed, adversary, monitors, params,
+                                observer=None):
     uids, namespace = _population(n, seed)
     cost = CostModel(n=n, namespace=namespace)
     processes = [RacyRankNode(uid) for uid in uids]
     return run_network(
         processes, cost, crash_adversary=adversary,
-        seed=seed + 2, trace=True, monitors=monitors,
+        seed=seed + 2, trace=True, monitors=monitors, observer=observer,
     )
 
 

@@ -26,7 +26,6 @@ external state would defeat both the cache and the frozen contract.
 
 from __future__ import annotations
 
-import math
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 from typing import Iterator, Optional
@@ -38,14 +37,22 @@ HEADER_BITS = 4
 def bit_length_of_domain(size: int) -> int:
     """Number of bits needed to address a domain of ``size`` values.
 
+    Computed in exact integer arithmetic as ``(size - 1).bit_length()``:
+    ``ceil(log2(size))`` through ``math.log2`` rounds through a float
+    and silently under-counts near 64-bit boundaries (it returns 53 for
+    ``2**53 + 1``), which is precisely the large-namespace regime where
+    the paper's subquadratic-bits claims are measured.
+
     >>> bit_length_of_domain(1)
     1
     >>> bit_length_of_domain(1024)
     10
+    >>> bit_length_of_domain(2**53 + 1)
+    54
     """
     if size < 1:
         raise ValueError(f"domain size must be positive, got {size}")
-    return max(1, math.ceil(math.log2(size))) if size > 1 else 1
+    return max(1, (size - 1).bit_length())
 
 
 @dataclass(frozen=True)

@@ -17,6 +17,7 @@ surviving process its inbox.
 from __future__ import annotations
 
 from random import Random
+from time import perf_counter
 from typing import Optional, Sequence
 
 from repro.adversary.base import (
@@ -94,6 +95,15 @@ class SyncNetwork:
         ``monitor.on_finish(network)`` after termination; a monitor
         signals a falsified invariant by raising.  The default ``()``
         costs nothing.
+    observer:
+        Optional :class:`repro.obs.events.Observer`.  When enabled (or
+        when it carries a :class:`~repro.obs.profile.PhaseProfiler`),
+        rounds execute through an instrumented step that emits
+        structured events (round begin/end, crash-plan application,
+        delivery fan-out, monitor fire) and charges wall time to the
+        four step phases.  The default ``None`` keeps the
+        uninstrumented fast path: every counted quantity is identical
+        either way (see ``tests/test_obs_ab.py``).
     """
 
     def __init__(
@@ -108,6 +118,7 @@ class SyncNetwork:
         trace: bool = False,
         max_rounds: int = DEFAULT_MAX_ROUNDS,
         monitors: Sequence[object] = (),
+        observer: Optional[object] = None,
     ):
         if not processes:
             raise ValueError("need at least one process")
@@ -119,6 +130,15 @@ class SyncNetwork:
         self.shared = shared
         self.max_rounds = max_rounds
         self.monitors = tuple(monitors)
+        self.observer = observer
+        self.profiler = (getattr(observer, "profiler", None)
+                         if observer is not None else None)
+        # One boolean decides per round which step body runs; the
+        # uninstrumented body is the exact pre-observability code.
+        self._instrumented = bool(
+            self.profiler is not None
+            or (observer is not None and getattr(observer, "enabled", False))
+        )
         self.metrics = Metrics(cost=cost)
         self.trace = Trace(enabled=trace)
         self.round_no = 0
@@ -246,6 +266,8 @@ class SyncNetwork:
                 raise CrashPlanError(f"victim {victim}: {error}") from None
             kept_by_victim[victim] = [sends[i] for i in indices]
         delivered = dict(proposed)
+        obs = self.observer
+        emit = obs is not None and getattr(obs, "enabled", False)
         for victim, kept in kept_by_victim.items():
             delivered[victim] = kept
             self.crashed.add(victim)
@@ -253,11 +275,27 @@ class SyncNetwork:
             self.trace.record(self.round_no, "crash", victim,
                               {"delivered": len(kept),
                                "proposed": len(proposed.get(victim, []))})
+            if emit:
+                obs.emit(
+                    "crash.apply", round_no=self.round_no, node=victim,
+                    delivered=len(kept),
+                    proposed=len(proposed.get(victim, [])),
+                    budget_left=self.adversary.budget
+                    - len(self.adversary.crashed) - len(victims),
+                )
         self.adversary.note_crashes(victims)
         return delivered
 
     def step(self) -> None:
         """Execute one synchronous round."""
+        if self._instrumented:
+            self._step_observed()
+        else:
+            self._step_fast()
+
+    def _step_fast(self) -> None:
+        """The uninstrumented hot path — byte-identical accounting to
+        :meth:`_step_observed`, with zero observability overhead."""
         self.round_no += 1
         round_no = self.round_no
         metrics = self.metrics
@@ -350,8 +388,151 @@ class SyncNetwork:
         for monitor in self.monitors:
             monitor.on_round(self)
 
+    def _step_observed(self) -> None:
+        """One round with events and phase timers attached.
+
+        Mirrors :meth:`_step_fast` exactly — same charging order, same
+        envelope construction, same program driving — but separates the
+        work into the four profiled phases (``plan``, ``charge``,
+        ``deliver``, ``advance``).  Charging and delivery interleave on
+        the fast path; here charging runs first and records each
+        constant-``(message, claim)`` run, and delivery replays the
+        recorded runs.  ``Authenticator.resolve`` is pure, so the split
+        changes no observable result; the A/B suite holds both bodies
+        to identical summaries, ledgers, and outputs.
+        """
+        obs = self.observer
+        emit = obs is not None and getattr(obs, "enabled", False)
+        prof = self.profiler
+        self.round_no += 1
+        round_no = self.round_no
+        metrics = self.metrics
+        contexts = self.contexts
+        processes = self.processes
+        if emit:
+            obs.emit("round.begin", round_no=round_no,
+                     alive=len(self._alive_order))
+
+        t0 = perf_counter()
+        metrics.begin_round()
+        for index in self._alive_order:
+            contexts[index].current_round = round_no
+        pending = self._pending
+        proposed = {index: pending.get(index, []) for index in self._alive_order}
+        delivered = self._apply_crash_plan(proposed)
+        t1 = perf_counter()
+
+        # Charge phase: bit accounting only.  Each entry of `runs` is
+        # one maximal constant-(message, claim) run of a sender's list;
+        # `targets is None` marks the whole-network broadcast fast path.
+        runs: list[tuple] = []
+        for sender, sends in delivered.items():
+            if not sends:
+                continue
+            process = processes[sender]
+            byz = process.byzantine
+            if type(sends) is Broadcast and sends.n == self.n:
+                metrics.record_sends(sender, sends.message, sends.n,
+                                     byzantine=byz)
+                runs.append((sender, process.uid, sends.message,
+                             sends.claim, None))
+                continue
+            total = len(sends)
+            i = 0
+            while i < total:
+                send = sends[i]
+                message = send.message
+                claim = send.claim
+                j = i + 1
+                while j < total:
+                    nxt = sends[j]
+                    if nxt.message is not message or nxt.claim != claim:
+                        break
+                    j += 1
+                metrics.record_sends(sender, message, j - i, byzantine=byz)
+                runs.append((sender, process.uid, message, claim,
+                             [sends[k].to for k in range(i, j)]))
+                i = j
+        t2 = perf_counter()
+
+        # Deliver phase: wrap the recorded runs into envelopes.
+        inboxes: dict[int, list[Envelope]] = {
+            index: [] for index in self._alive_order
+        }
+        alive_inboxes = list(inboxes.items())
+        inbox_of = inboxes.get
+        resolve = self.authenticator.resolve
+        envelopes = 0
+        for sender, sender_true_uid, message, claim, targets in runs:
+            perceived_uid, recorded_claim = resolve(sender_true_uid, claim)
+            if targets is None:
+                for to, inbox in alive_inboxes:
+                    inbox.append(Envelope(
+                        sender, to, round_no, message,
+                        perceived_uid, recorded_claim,
+                    ))
+                envelopes += len(alive_inboxes)
+                continue
+            for to in targets:
+                inbox = inbox_of(to)
+                if inbox is not None:
+                    inbox.append(Envelope(
+                        sender, to, round_no, message,
+                        perceived_uid, recorded_claim,
+                    ))
+                    envelopes += 1
+        if emit:
+            obs.emit("deliver.fanout", round_no=round_no,
+                     senders=len(runs), envelopes=envelopes)
+        t3 = perf_counter()
+
+        # Advance phase: drive the programs, then the monitors.
+        for index in tuple(self._alive_order):
+            program = self._programs.get(index)
+            if program is None:
+                continue
+            try:
+                next_sends = program.send(inboxes[index])
+                self._pending[index] = self._validated(index, next_sends)
+            except StopIteration as stop:
+                self._finish(index, stop.value)
+                self._pending.pop(index, None)
+            except Exception:
+                if not self.processes[index].byzantine:
+                    raise
+                self.trace.record(self.round_no, "byzantine-fault", index)
+                self._finish(index, None)
+                self._pending.pop(index, None)
+        for monitor in self.monitors:
+            try:
+                monitor.on_round(self)
+            except Exception as error:
+                if emit:
+                    obs.emit("monitor.fire", round_no=round_no,
+                             monitor=type(monitor).__name__,
+                             error=type(error).__name__)
+                raise
+        t4 = perf_counter()
+
+        if prof is not None:
+            prof.add("plan", t1 - t0)
+            prof.add("charge", t2 - t1)
+            prof.add("deliver", t3 - t2)
+            prof.add("advance", t4 - t3)
+        if emit:
+            obs.emit("round.end", round_no=round_no,
+                     messages=metrics.messages_per_round[-1],
+                     bits=metrics.bits_per_round[-1],
+                     alive=len(self._alive_order))
+
     def run(self) -> None:
         """Run rounds until every correct, non-crashed node terminates."""
+        obs = self.observer
+        emit = obs is not None and getattr(obs, "enabled", False)
+        if emit:
+            obs.emit("run.begin", n=self.n,
+                     namespace=self.cost.namespace,
+                     adversary=type(self.adversary).__name__)
         self._start()
         for monitor in self.monitors:
             monitor.on_start(self)
@@ -373,3 +554,9 @@ class SyncNetwork:
             self._programs[index].close()
         for monitor in self.monitors:
             monitor.on_finish(self)
+        if emit:
+            obs.emit("run.end", round_no=self.round_no,
+                     rounds=self.round_no,
+                     messages=self.metrics.total_messages,
+                     bits=self.metrics.total_bits,
+                     crashed=len(self.crashed))

@@ -55,6 +55,7 @@ def run_network(
     trace: bool = False,
     max_rounds: int = DEFAULT_MAX_ROUNDS,
     monitors: Sequence[object] = (),
+    observer: Optional[object] = None,
 ) -> ExecutionResult:
     """Build a :class:`SyncNetwork`, run it to completion, package results."""
     network = SyncNetwork(
@@ -67,6 +68,7 @@ def run_network(
         trace=trace,
         max_rounds=max_rounds,
         monitors=monitors,
+        observer=observer,
     )
     network.run()
     byzantine = {

@@ -4,7 +4,11 @@ from random import Random
 
 import pytest
 
-from repro.adversary.base import NoCrashes
+from repro.adversary.base import (
+    CrashAdversary,
+    NoCrashes,
+    kept_send_indices,
+)
 from repro.adversary.crash import (
     BudgetedAdaptiveCrash,
     CommitteeHunter,
@@ -12,7 +16,7 @@ from repro.adversary.crash import (
     RandomCrash,
     ScheduledCrash,
 )
-from repro.sim.messages import Send
+from repro.sim.messages import Broadcast, Send
 from repro.sim.trace import Trace
 from tests.test_network import Ping
 
@@ -160,3 +164,75 @@ class TestBudgetedAdaptiveCrash:
         adversary.note_crashes({0, 1})
         adversary.plan_round(2, {}, frozenset(), TRACE)
         assert seen == [3, 1]
+
+
+class _BroadcastSlicer(CrashAdversary):
+    """Crashes the first broadcasting node mid-send, keeping every other
+    send of its lazy ``Broadcast`` proposal (a strict subset)."""
+
+    def __init__(self):
+        super().__init__(budget=1)
+        self.captured = None  # (round_no, victim, proposed_seq, kept)
+
+    def plan_round(self, round_no, proposed, alive, trace):
+        if self.crashed:
+            return {}
+        for victim in sorted(alive):
+            sends = proposed.get(victim)
+            if isinstance(sends, Broadcast) and len(sends) >= 4:
+                kept = [sends[i] for i in range(0, len(sends), 2)]
+                self.captured = (round_no, victim, sends, kept)
+                return {victim: kept}
+        return {}
+
+
+class TestBroadcastMidSendCrash:
+    """Regression: ``plan_round`` receives lazy ``Broadcast`` sequences
+    (not lists) for broadcasting nodes; a mid-send crash keeping a
+    strict subset must resolve identity-stably and replay exactly."""
+
+    def test_broadcast_materialization_is_identity_stable(self):
+        bc = Broadcast(6, Ping(0))
+        assert bc[2] is bc[2]  # cached; repeated access → same instance
+        kept = [bc[1], bc[4]]
+        assert kept_send_indices(kept, bc) == (1, 4)
+
+    def test_mid_send_crash_of_broadcaster_records_and_replays(self):
+        from repro.core.crash_renaming import run_crash_renaming
+        from repro.falsify.replay import RecordingAdversary, ReplayAdversary
+
+        uids, n, seed = [3, 8, 1, 12, 7, 5, 10, 2], 8, 4
+        slicer = _BroadcastSlicer()
+        recorder = RecordingAdversary(slicer)
+        first = run_crash_renaming(
+            uids, namespace=16, adversary=recorder, seed=seed, trace=True,
+        )
+
+        # The victim really was broadcasting and really kept a strict
+        # subset, resolved against the Broadcast by identity.
+        assert slicer.captured is not None
+        round_no, victim, sends, kept = slicer.captured
+        assert isinstance(sends, Broadcast)
+        assert 0 < len(kept) < len(sends)
+        assert recorder.schedule[round_no][victim] == tuple(
+            range(0, len(sends), 2))
+        assert victim in first.crashed
+
+        # Survivors still end with unique names despite the partial
+        # delivery.
+        outputs = first.outputs_by_uid()
+        assert len(set(outputs.values())) == len(outputs)
+
+        # Strict replay of the recorded schedule is byte-identical:
+        # same outputs, same round count, same per-round ledgers.
+        replayer = ReplayAdversary(recorder.schedule, strict=True)
+        second = run_crash_renaming(
+            uids, namespace=16, adversary=replayer, seed=seed, trace=True,
+        )
+        assert second.outputs_by_uid() == outputs
+        assert second.rounds == first.rounds
+        assert second.crashed == first.crashed
+        assert (list(second.metrics.messages_per_round)
+                == list(first.metrics.messages_per_round))
+        assert (list(second.metrics.bits_per_round)
+                == list(first.metrics.bits_per_round))

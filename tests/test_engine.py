@@ -283,3 +283,39 @@ class TestChunkRetry:
             assert "first attempt" in hung.error
         finally:
             DRIVERS.pop("sleepy", None)
+
+    def test_run_isolated_kills_hung_worker(self):
+        # Exercise the retry path directly: the hung worker must be
+        # terminated (no orphan process left behind) through the public
+        # multiprocessing API, and the failure message must carry the
+        # "on retry" marker the chunk-retry error concatenation relies
+        # on.
+        import multiprocessing
+        import time
+
+        register_driver("sleepy", _sleepy_driver)
+        try:
+            request = RunRequest.make("sleepy", 6, 0, 0)
+            before = {child.pid
+                      for child in multiprocessing.active_children()}
+            start = time.perf_counter()
+            result = engine_pool._run_isolated(request, timeout=0.5)
+            elapsed = time.perf_counter() - start
+            assert not result.ok
+            assert "timed out" in result.error and "on retry" in result.error
+            assert elapsed < 8  # terminated, not joined for the full sleep
+            leaked = [child for child in multiprocessing.active_children()
+                      if child.pid not in before]
+            assert not leaked
+        finally:
+            DRIVERS.pop("sleepy", None)
+
+    def test_run_isolated_reports_worker_death(self):
+        register_driver("halt", _halt_driver)
+        try:
+            request = RunRequest.make("halt", 6, 0, 0)
+            result = engine_pool._run_isolated(request, timeout=10.0)
+            assert not result.ok
+            assert "exit code 37" in result.error
+        finally:
+            DRIVERS.pop("halt", None)

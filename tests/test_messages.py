@@ -36,6 +36,24 @@ class TestBitLength:
         assert 2 ** bits >= size
         assert 2 ** (bits - 1) < size
 
+    @pytest.mark.parametrize("k", [10, 53, 60])
+    def test_boundaries_are_exact(self, k):
+        # float log2 rounds 2**53 + 1 down to exactly 53.0, so the old
+        # ceil(log2(size)) implementation undercounted by one bit right
+        # above every large power of two.  The integer implementation
+        # must be exact at both sides of the boundary.
+        assert bit_length_of_domain(2 ** k) == k
+        assert bit_length_of_domain(2 ** k + 1) == k + 1
+
+    def test_double_precision_regression(self):
+        # The headline case: (2**53 + 1) is the first integer a double
+        # cannot represent, where math.ceil(math.log2(size)) == 53.
+        assert bit_length_of_domain(2 ** 53 + 1) == 54
+
+    @given(size=st.integers(1, 2 ** 70))
+    def test_matches_integer_bit_length(self, size):
+        assert bit_length_of_domain(size) == max(1, (size - 1).bit_length())
+
 
 class TestCostModel:
     def test_id_bits_follow_namespace(self):

@@ -9,11 +9,20 @@ def test_run_perf_schema():
     results = perf.run_perf([16], repeat=1)
     assert set(results) == {"broadcast_n16", "crash_n16"}
     for stats in results.values():
-        assert set(stats) == {"wall_s", "rounds", "messages", "msgs_per_s"}
+        assert set(stats) == {"wall_s", "rounds", "messages", "msgs_per_s",
+                              "phases"}
         assert stats["wall_s"] >= 0
         assert stats["rounds"] > 0
         assert stats["messages"] > 0
         assert stats["msgs_per_s"] > 0
+        report = stats["phases"]
+        assert report["schema"] == "repro.obs/profile@1"
+        assert report["unit"] == "seconds"
+        assert set(report["phases"]) == {"plan", "charge", "deliver",
+                                         "advance"}
+        for phase in report["phases"].values():
+            assert phase["calls"] == stats["rounds"]
+            assert phase["wall_s"] >= 0
 
 
 def test_broadcast_heavy_counts():
