@@ -11,6 +11,8 @@ Examples::
     python -m repro perf --quick
     python -m repro falsify --n 8,12 --seeds 0-3 --jobs 4
     python -m repro falsify --replay .repro/repros/repro-crash-....json
+    python -m repro faults --scenario crash,gossip --n 16 --f 2
+    python -m repro faults --scenario crash --faults '[{"kind": "omission", "p": 0.1}]'
     python -m repro obs profile --scenario crash --n 32 --f 4
     python -m repro obs tail events.jsonl --last 20
     python -m repro obs report --driver crash
@@ -59,16 +61,24 @@ def parse_int_list(text: str) -> list[int]:
 
 
 def _parse_params(pairs: list[str]) -> dict:
-    """``key=value`` strings to a dict, JSON-decoding each value."""
+    """``key=value`` strings to a dict, JSON-decoding each value.
+
+    Engine parameters are JSON scalars only, so a structured JSON value
+    (e.g. ``faults=[{"kind": "omission"}]``) stays the raw JSON *text* —
+    drivers that take structured configuration accept it as a string.
+    """
     params = {}
     for pair in pairs:
         key, equals, raw = pair.partition("=")
         if not equals:
             raise SystemExit(f"--param needs key=value, got {pair!r}")
         try:
-            params[key] = json.loads(raw)
+            value = json.loads(raw)
         except json.JSONDecodeError:
-            params[key] = raw
+            value = raw
+        if not isinstance(value, (str, int, float, bool, type(None))):
+            value = raw
+        params[key] = value
     return params
 
 
@@ -261,6 +271,51 @@ def cmd_falsify(args: argparse.Namespace) -> int:
         broken_replay = broken_replay or not finding.replayed
     print(f"{len(result.findings)} violation(s); artifacts in {args.out}")
     return 2 if broken_replay else 1
+
+
+def cmd_faults(args: argparse.Namespace) -> int:
+    from repro.faults.degradation import (
+        SAFE_TERMINATED,
+        classify_scenario,
+        degradation_frontier,
+        summarize_frontier,
+    )
+
+    scenarios = [s for s in args.scenario.split(",") if s]
+    if args.faults:
+        # One explicit spec instead of the ladder: classify it per
+        # scenario (the single-cell form of the frontier).
+        rows = []
+        for scenario in scenarios:
+            row = classify_scenario(
+                scenario, args.n, args.f, args.seed, args.faults,
+                adversary=args.adversary,
+                watchdog_rounds=args.watchdog_rounds,
+            )
+            row.pop("_result", None)
+            row["rung"] = "custom"
+            rows.append(row)
+    else:
+        rows = degradation_frontier(
+            scenarios, args.n, args.f, args.seed,
+            adversary=args.adversary,
+            watchdog_rounds=args.watchdog_rounds,
+        )
+    keep = ("scenario", "rung", "outcome", "rounds", "dropped",
+            "duplicated", "corrupted", "held", "detail")
+    _print_rows([{k: row.get(k) for k in keep} for row in rows],
+                args.format)
+    print()
+    _print_rows(summarize_frontier(rows), args.format)
+    # The fault-free control rung must terminate safely; anything else
+    # means the harness (not the fault model) is broken.
+    controls = [row for row in rows if row["rung"] == "none"]
+    broken = [row for row in controls
+              if row["outcome"] != SAFE_TERMINATED]
+    for row in broken:
+        print(f"CONTROL FAILED: {row['scenario']} without faults "
+              f"classified {row['outcome']}", file=sys.stderr)
+    return 1 if broken else 0
 
 
 def cmd_obs(args: argparse.Namespace) -> int:
@@ -507,7 +562,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--driver", default="crash",
         choices=["crash", "byzantine", "obg", "gossip", "balls",
-                 "reelection", "falsify"],
+                 "reelection", "falsify", "faults"],
         help="named summary driver from repro.engine.sweeps",
     )
     sweep.add_argument("--n", default="16,32,64",
@@ -578,6 +633,30 @@ def build_parser() -> argparse.ArgumentParser:
                          help="strictly replay one repro artifact and "
                               "exit (0 = reproduced)")
     falsify.set_defaults(func=cmd_falsify)
+
+    faults = sub.add_parser(
+        "faults",
+        help="degradation frontier: classify scenarios under an "
+             "escalating fault ladder",
+    )
+    faults.add_argument("--scenario", default="crash,gossip",
+                        help="comma list of scenarios "
+                             "(default: crash,gossip)")
+    faults.add_argument("--n", type=int, default=16)
+    faults.add_argument("--f", type=int, default=0,
+                        help="crash budget for --adversary (default 0)")
+    faults.add_argument("--seed", type=int, default=1)
+    faults.add_argument("--adversary", default="none",
+                        help="none, random, hunter, partitioner "
+                             "(composed with the link faults)")
+    faults.add_argument("--faults", default=None, metavar="JSON",
+                        help="classify one explicit fault spec instead "
+                             "of the default ladder")
+    faults.add_argument("--watchdog-rounds", type=int, default=None,
+                        help="stall watchdog override (default 32n+256)")
+    faults.add_argument("--format", choices=["plain", "md", "json"],
+                        default="plain")
+    faults.set_defaults(func=cmd_faults)
 
     perf = sub.add_parser(
         "perf",

@@ -10,7 +10,7 @@ from __future__ import annotations
 from random import Random
 from typing import TYPE_CHECKING, Callable, Mapping, Sequence
 
-from repro.adversary.base import CrashAdversary, CrashPlan
+from repro.adversary.base import CrashAdversary, CrashPlan, CrashPlanError
 
 if TYPE_CHECKING:  # annotations only, avoids an import cycle
     from repro.sim.messages import Send
@@ -52,17 +52,35 @@ class ScheduledCrash(CrashAdversary):
     proposed messages of a victim through, modelling a deterministic
     mid-send crash -- convenient for regression tests that need an
     exactly reproducible split.
+
+    ``budget`` optionally pins the adversary's crash budget ``f``
+    independently of the schedule.  The whole schedule is then
+    validated at plan (construction) time: if the cumulative victim
+    count ever exceeds ``f``, a :class:`CrashPlanError` names the first
+    offending round — mirroring the network's atomic plan rejection
+    rather than silently under-delivering crashes mid-execution.
     """
 
     def __init__(
         self,
         schedule: Mapping[int, Sequence[int]],
         deliver_prefix: Mapping[int, int] | None = None,
+        budget: int | None = None,
     ):
         victims = [v for batch in schedule.values() for v in batch]
         if len(victims) != len(set(victims)):
             raise ValueError("schedule names the same victim twice")
-        super().__init__(budget=len(victims))
+        if budget is not None:
+            cumulative = 0
+            for round_no in sorted(schedule):
+                cumulative += len(schedule[round_no])
+                if cumulative > budget:
+                    raise CrashPlanError(
+                        f"schedule exceeds crash budget f={budget} at "
+                        f"round {round_no}: {cumulative} cumulative "
+                        f"victims planned"
+                    )
+        super().__init__(budget=len(victims) if budget is None else budget)
         self.schedule = {r: list(batch) for r, batch in schedule.items()}
         self.deliver_prefix = dict(deliver_prefix or {})
 

@@ -30,6 +30,7 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.adversary.base import CrashAdversary
+from repro.faults.base import FaultModel
 from repro.sim.messages import CostModel, Message, broadcast
 from repro.sim.node import Context, Process, Program
 from repro.sim.runner import ExecutionResult, run_network
@@ -145,6 +146,7 @@ def run_balls_into_slots(
     trace: bool = False,
     monitors: Sequence[object] = (),
     observer: Optional[object] = None,
+    fault_model: Optional[FaultModel] = None,
 ) -> ExecutionResult:
     """Run the balls-into-slots baseline for nodes with ids ``uids``.
 
@@ -164,5 +166,5 @@ def run_balls_into_slots(
     processes = [BallsIntoSlotsNode(uid, slots=slots) for uid in uids]
     return run_network(
         processes, cost, crash_adversary=adversary, seed=seed, trace=trace,
-        monitors=monitors, observer=observer,
+        monitors=monitors, observer=observer, fault_model=fault_model,
     )

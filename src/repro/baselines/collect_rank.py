@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.adversary.base import CrashAdversary
+from repro.faults.base import FaultModel
 from repro.sim.messages import CostModel, Message, broadcast
 from repro.sim.node import Context, Process, Program
 from repro.sim.runner import ExecutionResult, run_network
@@ -79,6 +80,7 @@ def run_collect_rank(
     trace: bool = False,
     monitors: Sequence[object] = (),
     observer: Optional[object] = None,
+    fault_model: Optional[FaultModel] = None,
 ) -> ExecutionResult:
     """Run the gossip baseline for nodes with identities ``uids``."""
     uids = list(uids)
@@ -90,5 +92,5 @@ def run_collect_rank(
     processes = [CollectRankNode(uid, assumed_faults) for uid in uids]
     return run_network(
         processes, cost, crash_adversary=adversary, seed=seed, trace=trace,
-        monitors=monitors, observer=observer,
+        monitors=monitors, observer=observer, fault_model=fault_model,
     )

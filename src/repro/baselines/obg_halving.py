@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.adversary.base import CrashAdversary
+from repro.faults.base import FaultModel
 from repro.core.crash_renaming import RenamingFailure
 from repro.core.intervals import Interval, root_interval
 from repro.sim.messages import CostModel, Message, broadcast
@@ -100,6 +101,7 @@ def run_obg_halving(
     trace: bool = False,
     monitors: Sequence[object] = (),
     observer: Optional[object] = None,
+    fault_model: Optional[FaultModel] = None,
 ) -> ExecutionResult:
     """Run the all-to-all halving baseline for nodes with ids ``uids``."""
     uids = list(uids)
@@ -111,5 +113,5 @@ def run_obg_halving(
     processes = [ObgHalvingNode(uid) for uid in uids]
     return run_network(
         processes, cost, crash_adversary=adversary, seed=seed, trace=trace,
-        monitors=monitors, observer=observer,
+        monitors=monitors, observer=observer, fault_model=fault_model,
     )

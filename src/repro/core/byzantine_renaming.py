@@ -42,6 +42,7 @@ from repro.consensus.binary import DEFAULT_ITERATIONS, binary_consensus
 from repro.consensus.comm import CommitteeComm, exchange
 from repro.consensus.validator import validator
 from repro.core.identity_list import IdentityList
+from repro.faults.base import FaultModel
 from repro.crypto.hashing import FingerprintFamily
 from repro.crypto.shared_randomness import SharedRandomness
 from repro.sim.messages import CostModel, Message, Send, broadcast
@@ -460,6 +461,7 @@ def run_byzantine_renaming(
     max_rounds: int = 200_000,
     monitors: Sequence[object] = (),
     observer: Optional[object] = None,
+    fault_model: Optional[FaultModel] = None,
 ) -> ExecutionResult:
     """Run the Byzantine-resilient algorithm.
 
@@ -502,5 +504,5 @@ def run_byzantine_renaming(
         trace=trace,
         max_rounds=max_rounds,
         monitors=monitors,
-        observer=observer,
+        observer=observer, fault_model=fault_model,
     )

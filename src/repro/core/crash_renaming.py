@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.adversary.base import CrashAdversary
+from repro.faults.base import FaultModel
 from repro.core.intervals import Interval, root_interval
 from repro.sim.messages import CostModel, Envelope, Message, Send, broadcast
 from repro.sim.node import Context, Process, Program
@@ -281,6 +282,7 @@ def run_crash_renaming(
     trace: bool = False,
     monitors: Sequence[object] = (),
     observer: Optional[object] = None,
+    fault_model: Optional[FaultModel] = None,
 ) -> ExecutionResult:
     """Run the crash-resilient algorithm for nodes with identities ``uids``.
 
@@ -304,5 +306,5 @@ def run_crash_renaming(
         seed=seed,
         trace=trace,
         monitors=monitors,
-        observer=observer,
+        observer=observer, fault_model=fault_model,
     )

@@ -48,6 +48,10 @@ def _load_default_drivers() -> None:
 
     DRIVERS.setdefault("falsify", campaign.falsify_run_summary)
 
+    from repro.faults import driver as faults_driver
+
+    DRIVERS.setdefault("faults", faults_driver.faults_run_summary)
+
 
 def driver_names() -> list[str]:
     _load_default_drivers()

@@ -23,11 +23,13 @@ from repro.adversary.crash import (
 )
 from repro.falsify.faulty import RacyRankNode
 from repro.falsify.monitors import Monitor, default_monitors
+from repro.faults.base import FaultModel
+from repro.faults.spec import build_fault_model
 from repro.sim.messages import CostModel
 from repro.sim.runner import ExecutionResult, run_network
 
-#: ``fn(n, f, seed, adversary, monitors, params, observer=None)``
-#: ``-> ExecutionResult``
+#: ``fn(n, f, seed, adversary, monitors, params, observer=None,``
+#: ``fault_model=None) -> ExecutionResult``
 ScenarioFn = Callable[..., ExecutionResult]
 
 
@@ -110,11 +112,21 @@ def run_scenario(
     monitors: tuple[Monitor, ...] = (),
     params: Optional[dict] = None,
     observer: Optional[object] = None,
+    fault_model: Optional[FaultModel] = None,
 ) -> ExecutionResult:
-    """Execute one scenario under an explicit adversary and monitors."""
+    """Execute one scenario under an explicit adversary and monitors.
+
+    A link-fault model may be supplied two ways: an explicit
+    ``fault_model`` instance, or — the replayable path — a
+    :mod:`repro.faults.spec` spec under ``params["faults"]`` (JSON text
+    or a list of entry dicts), which the scenario builds with
+    :func:`build_fault_model` from the execution seed.  The spec form
+    travels through repro artifacts and engine rows, so shrinking and
+    strict replay reconstruct the identical channel.
+    """
     scenario = resolve_scenario(name)
     return scenario.run(n, f, seed, adversary, monitors, dict(params or {}),
-                        observer=observer)
+                        observer=observer, fault_model=fault_model)
 
 
 # ---------------------------------------------------------------------------
@@ -128,7 +140,21 @@ def _population(n: int, seed: int) -> tuple[list[int], int]:
     return sample_uids(n, namespace, Random(seed)), namespace
 
 
-def _crash_scenario(n, f, seed, adversary, monitors, params, observer=None):
+def _faults_from(params, n, seed, fault_model, default=None):
+    """Resolve a scenario's fault model: explicit instance wins, then
+    ``params["faults"]`` (the replayable spec form), then the scenario's
+    deterministic default spec (a function of ``n`` only, so shrinking
+    ``n`` rebuilds the matching channel)."""
+    if fault_model is not None:
+        return fault_model
+    spec = params.get("faults")
+    if spec in (None, "", "[]") and default is not None:
+        spec = default(n)
+    return build_fault_model(spec, n, seed)
+
+
+def _crash_scenario(n, f, seed, adversary, monitors, params, observer=None,
+                    fault_model=None):
     from repro.analysis.experiments import EXPERIMENT_ELECTION_CONSTANT
     from repro.core.crash_renaming import (
         CrashRenamingConfig,
@@ -144,20 +170,24 @@ def _crash_scenario(n, f, seed, adversary, monitors, params, observer=None):
     return run_crash_renaming(
         uids, namespace=namespace, adversary=adversary, config=config,
         seed=seed + 2, trace=True, monitors=monitors, observer=observer,
+        fault_model=_faults_from(params, n, seed, fault_model),
     )
 
 
-def _obg_scenario(n, f, seed, adversary, monitors, params, observer=None):
+def _obg_scenario(n, f, seed, adversary, monitors, params, observer=None,
+                  fault_model=None):
     from repro.baselines.obg_halving import run_obg_halving
 
     uids, namespace = _population(n, seed)
     return run_obg_halving(
         uids, namespace=namespace, adversary=adversary,
         seed=seed + 2, trace=True, monitors=monitors, observer=observer,
+        fault_model=_faults_from(params, n, seed, fault_model),
     )
 
 
-def _balls_scenario(n, f, seed, adversary, monitors, params, observer=None):
+def _balls_scenario(n, f, seed, adversary, monitors, params, observer=None,
+                    fault_model=None):
     from repro.baselines.balls_into_slots import run_balls_into_slots
 
     uids, namespace = _population(n, seed)
@@ -165,10 +195,12 @@ def _balls_scenario(n, f, seed, adversary, monitors, params, observer=None):
         uids, namespace=namespace, slots=params.get("slots"),
         adversary=adversary, seed=seed + 2, trace=True,
         monitors=monitors, observer=observer,
+        fault_model=_faults_from(params, n, seed, fault_model),
     )
 
 
-def _gossip_scenario(n, f, seed, adversary, monitors, params, observer=None):
+def _gossip_scenario(n, f, seed, adversary, monitors, params, observer=None,
+                     fault_model=None):
     from repro.baselines.collect_rank import run_collect_rank
 
     uids, namespace = _population(n, seed)
@@ -176,18 +208,65 @@ def _gossip_scenario(n, f, seed, adversary, monitors, params, observer=None):
         uids, namespace=namespace, adversary=adversary,
         assumed_faults=params.get("assumed_faults"),
         seed=seed + 2, trace=True, monitors=monitors, observer=observer,
+        fault_model=_faults_from(params, n, seed, fault_model),
     )
 
 
 def _planted_duplicate_scenario(n, f, seed, adversary, monitors, params,
-                                observer=None):
+                                observer=None, fault_model=None):
     uids, namespace = _population(n, seed)
     cost = CostModel(n=n, namespace=namespace)
     processes = [RacyRankNode(uid) for uid in uids]
     return run_network(
         processes, cost, crash_adversary=adversary,
         seed=seed + 2, trace=True, monitors=monitors, observer=observer,
+        fault_model=_faults_from(params, n, seed, fault_model),
     )
+
+
+# Default fault specs of the fault scenarios: deterministic functions of
+# n only, so a shrunk artifact at a smaller n rebuilds the matching
+# channel.  Chosen from the measured degradation frontier (EXPERIMENTS
+# F15): gossip's flooding redundancy absorbs omission, duplication,
+# *and* a healing partition, while committee renaming — which assumes
+# reliable synchronous links — genuinely loses unique-names under
+# omission, and under duplicate delivery once a mid-send crash is
+# composed in (see the `crash-dup` scenario below).
+
+
+def _gossip_fault_spec(n: int) -> list[dict]:
+    return [
+        {"kind": "omission", "p": 0.05, "budget": 2 * n},
+        {"kind": "partition", "start": 2, "end": 5},
+    ]
+
+
+def _dup_spec(n: int) -> list[dict]:
+    return [{"kind": "duplicate", "p": 0.2}]
+
+
+def _gossip_faults_scenario(n, f, seed, adversary, monitors, params,
+                            observer=None, fault_model=None):
+    fault_model = _faults_from(params, n, seed, fault_model,
+                               default=_gossip_fault_spec)
+    return _gossip_scenario(n, f, seed, adversary, monitors, params,
+                            observer=observer, fault_model=fault_model)
+
+
+def _gossip_dup_scenario(n, f, seed, adversary, monitors, params,
+                         observer=None, fault_model=None):
+    fault_model = _faults_from(params, n, seed, fault_model,
+                               default=_dup_spec)
+    return _gossip_scenario(n, f, seed, adversary, monitors, params,
+                            observer=observer, fault_model=fault_model)
+
+
+def _crash_dup_scenario(n, f, seed, adversary, monitors, params,
+                        observer=None, fault_model=None):
+    fault_model = _faults_from(params, n, seed, fault_model,
+                               default=_dup_spec)
+    return _crash_scenario(n, f, seed, adversary, monitors, params,
+                           observer=observer, fault_model=fault_model)
 
 
 register_scenario(Scenario(
@@ -211,7 +290,30 @@ register_scenario(Scenario(
     description="fault-injection fixture: racy rank renaming that emits "
                 "duplicate names under a mid-send crash",
 ))
+register_scenario(Scenario(
+    "gossip-faults", _gossip_faults_scenario,
+    description="gossip baseline over lossy, healing-partition links "
+                "(budgeted omission + transient partition): safety and "
+                "liveness both survive",
+))
+register_scenario(Scenario(
+    "gossip-dup", _gossip_dup_scenario,
+    description="gossip baseline over an at-least-once channel (20% "
+                "duplicate delivery): set-union gossip is idempotent, "
+                "so safety holds",
+))
+register_scenario(Scenario(
+    "crash-dup", _crash_dup_scenario,
+    description="committee renaming over an at-least-once channel (20% "
+                "duplicate delivery): NOT expected to stay clean — "
+                "composed with a mid-send crash adversary, duplicated "
+                "committee votes falsify unique-names (a deliberate "
+                "demonstration target, excluded from the defaults)",
+))
 
-#: Scenarios the smoke campaign runs by default — every real driver,
-#: excluding the planted fault-injection fixtures.
-DEFAULT_SCENARIOS = ("crash", "obg", "balls", "gossip")
+#: Scenarios the smoke campaign runs by default — every real driver
+#: plus the two empirically-clean fault-model scenarios, excluding the
+#: planted fault-injection fixtures and the known-to-falsify
+#: `crash-dup` probe.
+DEFAULT_SCENARIOS = ("crash", "obg", "balls", "gossip",
+                     "gossip-faults", "gossip-dup")

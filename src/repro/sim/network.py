@@ -27,6 +27,15 @@ from repro.adversary.base import (
     kept_send_indices,
 )
 from repro.crypto.auth import Authenticator
+from repro.faults.base import (
+    CORRUPT,
+    DROP,
+    HOLD,
+    FaultModel,
+    FaultStats,
+    corrupt_message,
+    validate_plan,
+)
 from repro.crypto.shared_randomness import SharedRandomness
 from repro.sim.messages import Broadcast, CostModel, Envelope, Send
 from repro.sim.metrics import Metrics
@@ -104,6 +113,14 @@ class SyncNetwork:
         four step phases.  The default ``None`` keeps the
         uninstrumented fast path: every counted quantity is identical
         either way (see ``tests/test_obs_ab.py``).
+    fault_model:
+        Optional :class:`repro.faults.base.FaultModel` consulted every
+        round *after* the crash plan is applied: it sees each sender's
+        resolved sends and may drop, duplicate, corrupt, or hold
+        (partition) individual envelopes.  Every resolved send is still
+        charged to the ledgers exactly once, so faults change delivery
+        only, never counted quantities.  The default ``None`` keeps the
+        fault-free step bodies byte-for-byte untouched.
     """
 
     def __init__(
@@ -119,6 +136,7 @@ class SyncNetwork:
         max_rounds: int = DEFAULT_MAX_ROUNDS,
         monitors: Sequence[object] = (),
         observer: Optional[object] = None,
+        fault_model: Optional[FaultModel] = None,
     ):
         if not processes:
             raise ValueError("need at least one process")
@@ -139,6 +157,10 @@ class SyncNetwork:
             self.profiler is not None
             or (observer is not None and getattr(observer, "enabled", False))
         )
+        self.fault_model = fault_model
+        self.fault_stats = FaultStats() if fault_model is not None else None
+        # Envelopes a `hold` verdict deferred, keyed by release round.
+        self._held: dict[int, list[Envelope]] = {}
         self.metrics = Metrics(cost=cost)
         self.trace = Trace(enabled=trace)
         self.round_no = 0
@@ -288,7 +310,9 @@ class SyncNetwork:
 
     def step(self) -> None:
         """Execute one synchronous round."""
-        if self._instrumented:
+        if self.fault_model is not None:
+            self._step_faulted()
+        elif self._instrumented:
             self._step_observed()
         else:
             self._step_fast()
@@ -519,6 +543,200 @@ class SyncNetwork:
             prof.add("charge", t2 - t1)
             prof.add("deliver", t3 - t2)
             prof.add("advance", t4 - t3)
+        if emit:
+            obs.emit("round.end", round_no=round_no,
+                     messages=metrics.messages_per_round[-1],
+                     bits=metrics.bits_per_round[-1],
+                     alive=len(self._alive_order))
+
+    def _step_faulted(self) -> None:
+        """One round with a link-level fault model between the crash
+        plan and delivery.
+
+        Charging mirrors :meth:`_step_fast` exactly: *every* resolved
+        send is charged once whatever its verdict — a dropped message
+        was transmitted and lost, a duplicate was transmitted once, a
+        corrupted message charges its original, a held message is
+        charged at transmission time — so the per-round ledgers are
+        identical to the fault-free execution of the same sends
+        (``Metrics.record_sends`` batching is ledger-identical to
+        per-send charging, see ``tests/test_metrics_ledgers.py``).
+        Only delivery changes.  Observer events ``fault.drop``,
+        ``fault.dup``, ``fault.corrupt``, ``fault.hold`` and
+        ``fault.release`` are emitted when an enabled observer is
+        attached; without one the verdicts are applied silently.
+        """
+        obs = self.observer
+        emit = obs is not None and getattr(obs, "enabled", False)
+        prof = self.profiler
+        self.round_no += 1
+        round_no = self.round_no
+        metrics = self.metrics
+        contexts = self.contexts
+        processes = self.processes
+        if emit:
+            obs.emit("round.begin", round_no=round_no,
+                     alive=len(self._alive_order))
+
+        t0 = perf_counter()
+        metrics.begin_round()
+        for index in self._alive_order:
+            contexts[index].current_round = round_no
+        pending = self._pending
+        proposed = {index: pending.get(index, []) for index in self._alive_order}
+        delivered = self._apply_crash_plan(proposed)
+
+        # The fault model plans against the post-crash resolved sends,
+        # addressed by (sender, send index) — the kept_send_indices
+        # convention.  The whole plan is validated before any delivery
+        # state changes (atomic rejection, like the crash plan).
+        plan = self.fault_model.plan_round(
+            round_no, delivered, frozenset(self._alive_set))
+        if plan:
+            validate_plan(plan, round_no, delivered)
+        t1 = perf_counter()
+
+        stats = self.fault_stats
+        inboxes: dict[int, list[Envelope]] = {
+            index: [] for index in self._alive_order
+        }
+        alive_inboxes = list(inboxes.items())
+        inbox_of = inboxes.get
+        resolve = self.authenticator.resolve
+
+        # Partition traffic healing this round re-enters inboxes ahead
+        # of the round's own sends (it has been in flight the longest).
+        for envelope in self._held.pop(round_no, ()):
+            inbox = inbox_of(envelope.to)
+            if inbox is None:
+                continue  # receiver crashed or terminated while held
+            inbox.append(envelope)
+            stats.released += 1
+            if emit:
+                obs.emit("fault.release", round_no=round_no,
+                         node=envelope.sender, to=envelope.to)
+
+        for sender, sends in delivered.items():
+            if not sends:
+                continue
+            process = processes[sender]
+            byz = process.byzantine
+            sender_true_uid = process.uid
+            verdicts = plan.get(sender)
+            if (verdicts is None and type(sends) is Broadcast
+                    and sends.n == self.n):
+                # Untouched whole-network fan-out: same fast path as
+                # _step_fast, no per-link Send materialization.
+                message = sends.message
+                metrics.record_sends(sender, message, sends.n, byzantine=byz)
+                perceived_uid, recorded_claim = resolve(
+                    sender_true_uid, sends.claim
+                )
+                for to, inbox in alive_inboxes:
+                    inbox.append(Envelope(
+                        sender, to, round_no, message,
+                        perceived_uid, recorded_claim,
+                    ))
+                continue
+            get_verdict = None if verdicts is None else verdicts.get
+            for index in range(len(sends)):
+                send = sends[index]
+                message = send.message
+                metrics.record_sends(sender, message, 1, byzantine=byz)
+                verdict = None if get_verdict is None else get_verdict(index)
+                if verdict is None:
+                    inbox = inbox_of(send.to)
+                    if inbox is not None:
+                        perceived_uid, recorded_claim = resolve(
+                            sender_true_uid, send.claim)
+                        inbox.append(Envelope(
+                            sender, send.to, round_no, message,
+                            perceived_uid, recorded_claim,
+                        ))
+                    continue
+                kind = verdict.kind
+                if kind == DROP:
+                    stats.dropped += 1
+                    if emit:
+                        obs.emit("fault.drop", round_no=round_no,
+                                 node=sender, to=send.to)
+                    continue
+                if kind == HOLD:
+                    stats.held += 1
+                    release = verdict.release_round
+                    perceived_uid, recorded_claim = resolve(
+                        sender_true_uid, send.claim)
+                    self._held.setdefault(release, []).append(Envelope(
+                        sender, send.to, release, message,
+                        perceived_uid, recorded_claim,
+                    ))
+                    if emit:
+                        obs.emit("fault.hold", round_no=round_no,
+                                 node=sender, to=send.to, release=release)
+                    continue
+                if kind == CORRUPT:
+                    stats.corrupted += 1
+                    if emit:
+                        obs.emit("fault.corrupt", round_no=round_no,
+                                 node=sender, to=send.to, salt=verdict.salt)
+                    inbox = inbox_of(send.to)
+                    if inbox is not None:
+                        perceived_uid, recorded_claim = resolve(
+                            sender_true_uid, send.claim)
+                        inbox.append(Envelope(
+                            sender, send.to, round_no,
+                            corrupt_message(message, verdict.salt),
+                            perceived_uid, recorded_claim,
+                        ))
+                    continue
+                # DUPLICATE: 1 + copies envelopes, each a fresh instance
+                # (the engine never hands one Envelope to a node twice).
+                stats.duplicated += verdict.copies
+                if emit:
+                    obs.emit("fault.dup", round_no=round_no,
+                             node=sender, to=send.to, copies=verdict.copies)
+                inbox = inbox_of(send.to)
+                if inbox is not None:
+                    perceived_uid, recorded_claim = resolve(
+                        sender_true_uid, send.claim)
+                    for _ in range(1 + verdict.copies):
+                        inbox.append(Envelope(
+                            sender, send.to, round_no, message,
+                            perceived_uid, recorded_claim,
+                        ))
+        t2 = perf_counter()
+
+        for index in tuple(self._alive_order):
+            program = self._programs.get(index)
+            if program is None:
+                continue
+            try:
+                next_sends = program.send(inboxes[index])
+                self._pending[index] = self._validated(index, next_sends)
+            except StopIteration as stop:
+                self._finish(index, stop.value)
+                self._pending.pop(index, None)
+            except Exception:
+                if not self.processes[index].byzantine:
+                    raise
+                self.trace.record(self.round_no, "byzantine-fault", index)
+                self._finish(index, None)
+                self._pending.pop(index, None)
+        for monitor in self.monitors:
+            try:
+                monitor.on_round(self)
+            except Exception as error:
+                if emit:
+                    obs.emit("monitor.fire", round_no=round_no,
+                             monitor=type(monitor).__name__,
+                             error=type(error).__name__)
+                raise
+        t3 = perf_counter()
+
+        if prof is not None:
+            prof.add("plan", t1 - t0)
+            prof.add("deliver", t2 - t1)
+            prof.add("advance", t3 - t2)
         if emit:
             obs.emit("round.end", round_no=round_no,
                      messages=metrics.messages_per_round[-1],

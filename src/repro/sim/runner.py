@@ -8,6 +8,7 @@ from typing import Optional, Sequence
 from repro.adversary.base import CrashAdversary
 from repro.crypto.auth import Authenticator
 from repro.crypto.shared_randomness import SharedRandomness
+from repro.faults.base import FaultModel, FaultStats
 from repro.sim.messages import CostModel
 from repro.sim.metrics import Metrics
 from repro.sim.network import DEFAULT_MAX_ROUNDS, SyncNetwork
@@ -26,6 +27,8 @@ class ExecutionResult:
     rounds: int
     trace: Trace
     processes: Sequence[Process] = field(repr=False, default=())
+    #: Applied link-fault tallies, or ``None`` when no fault model ran.
+    fault_stats: Optional[FaultStats] = None
 
     @property
     def correct_results(self) -> dict[int, object]:
@@ -56,6 +59,7 @@ def run_network(
     max_rounds: int = DEFAULT_MAX_ROUNDS,
     monitors: Sequence[object] = (),
     observer: Optional[object] = None,
+    fault_model: Optional[FaultModel] = None,
 ) -> ExecutionResult:
     """Build a :class:`SyncNetwork`, run it to completion, package results."""
     network = SyncNetwork(
@@ -69,6 +73,7 @@ def run_network(
         max_rounds=max_rounds,
         monitors=monitors,
         observer=observer,
+        fault_model=fault_model,
     )
     network.run()
     byzantine = {
@@ -82,4 +87,5 @@ def run_network(
         rounds=network.round_no,
         trace=network.trace,
         processes=list(processes),
+        fault_stats=network.fault_stats,
     )

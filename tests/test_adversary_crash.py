@@ -98,6 +98,23 @@ class TestScheduledCrash:
         plan = adversary.plan_round(1, proposed, frozenset({0}), TRACE)
         assert plan[0] == proposed[0][:2]
 
+    def test_explicit_budget_pins_f(self):
+        adversary = ScheduledCrash({1: [0]}, budget=4)
+        assert adversary.budget == 4
+
+    def test_schedule_over_budget_rejected_at_construction(self):
+        from repro.adversary.base import CrashPlanError
+
+        # Rounds 1-2 stay within f=2; round 5 brings the cumulative
+        # count to 3.  Validation must name that round, not merely
+        # under-deliver crashes mid-execution.
+        with pytest.raises(CrashPlanError, match="budget f=2 at round 5"):
+            ScheduledCrash({1: [0], 2: [3], 5: [7]}, budget=2)
+
+    def test_budget_exactly_met_is_fine(self):
+        adversary = ScheduledCrash({1: [0], 2: [3]}, budget=2)
+        assert adversary.budget == 2
+
 
 class TestMidSendPartitioner:
     def test_targets_highest_fanout(self):

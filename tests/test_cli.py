@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.__main__ import build_parser, main
+from repro.__main__ import _parse_params, build_parser, main
 
 
 class TestParser:
@@ -17,6 +17,20 @@ class TestParser:
     def test_byzantine_strategy_choices(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["byzantine", "--strategy", "nuke"])
+
+    def test_faults_defaults(self):
+        args = build_parser().parse_args(["faults"])
+        assert args.scenario == "crash,gossip" and args.n == 16
+
+    def test_param_scalars_are_json_decoded(self):
+        params = _parse_params(["rate=0.5", "strategy=withholder"])
+        assert params == {"rate": 0.5, "strategy": "withholder"}
+
+    def test_param_structured_json_stays_text(self):
+        # Engine params are JSON scalars; a structured value reaches the
+        # driver as its JSON text (the faults driver's spec form).
+        raw = '[{"kind": "omission", "p": 0.1}]'
+        assert _parse_params([f"faults={raw}"]) == {"faults": raw}
 
 
 class TestCommands:
@@ -44,3 +58,20 @@ class TestCommands:
         assert main(["lowerbound", "--n", "12", "--trials", "200"]) == 0
         out = capsys.readouterr().out
         assert "11 messages" in out
+
+    def test_faults_custom_spec(self, capsys):
+        code = main(["faults", "--scenario", "gossip", "--n", "8",
+                     "--seed", "1", "--watchdog-rounds", "200",
+                     "--faults", '[{"kind": "omission", "p": 0.1}]'])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SAFE_TERMINATED" in out and "custom" in out
+
+    def test_faults_frontier_exit_zero_with_brittle_cells(self, capsys):
+        # Brittle rungs are expected rows; only a failed fault-free
+        # control rung is a harness-level failure.
+        code = main(["faults", "--scenario", "crash", "--n", "12",
+                     "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SAFETY_VIOLATED" in out and "first_unsafe_rung" in out

@@ -1,0 +1,95 @@
+"""Cross-process determinism: no entry point may depend on the hash seed.
+
+Python randomizes ``str``/``bytes`` hashing per process unless
+``PYTHONHASHSEED`` pins it, so any iteration over an unordered container
+of strings (or objects with default ``__hash__``) leaks process identity
+into results.  Each entry point — including the faulted delivery path —
+must print byte-identical summaries, per-round ledgers, outputs, and
+fault tallies under different hash seeds.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: Runs all five ``run_*`` entry points and prints one canonical-JSON
+#: line each.  Every execution supplies a fault model so the faulted
+#: network path is the one exercised: the robust gossip baseline takes a
+#: genuinely lossy composed channel, the others take ``NoFaults`` (empty
+#: plans through the same code path) so they terminate normally.
+SCRIPT = """
+import json
+
+from repro.adversary.crash import ScheduledCrash
+from repro.baselines.balls_into_slots import run_balls_into_slots
+from repro.baselines.collect_rank import run_collect_rank
+from repro.baselines.obg_halving import run_obg_halving
+from repro.core.byzantine_renaming import run_byzantine_renaming
+from repro.core.crash_renaming import run_crash_renaming
+from repro.faults import NoFaults, build_fault_model
+
+UIDS = [3, 11, 5, 8, 2, 13, 7, 1]
+LOSSY = [{"kind": "omission", "p": 0.05, "budget": 16},
+         {"kind": "partition", "start": 2, "end": 4}]
+
+
+def report(name, result):
+    stats = result.fault_stats
+    print(json.dumps({
+        "name": name,
+        "summary": result.metrics.summary(),
+        "messages_per_round": list(result.metrics.messages_per_round),
+        "bits_per_round": list(result.metrics.bits_per_round),
+        "results": sorted(result.results.items()),
+        "crashed": sorted(result.crashed),
+        "rounds": result.rounds,
+        "faults": stats.as_dict() if stats is not None else None,
+    }, sort_keys=True))
+
+
+report("crash", run_crash_renaming(
+    UIDS, seed=1, fault_model=NoFaults(),
+    adversary=ScheduledCrash({2: [1]})))
+report("obg", run_obg_halving(UIDS, seed=1, fault_model=NoFaults()))
+report("balls", run_balls_into_slots(UIDS, seed=1, fault_model=NoFaults()))
+report("gossip", run_collect_rank(
+    UIDS, seed=1,
+    fault_model=build_fault_model(LOSSY, len(UIDS), seed=1)))
+report("byzantine", run_byzantine_renaming(
+    UIDS, seed=1, fault_model=NoFaults()))
+"""
+
+
+def _run(hashseed):
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = str(hashseed)
+    env["PYTHONPATH"] = str(REPO / "src")
+    proc = subprocess.run(
+        [sys.executable, "-c", SCRIPT],
+        capture_output=True, env=env, cwd=REPO, timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr.decode()
+    return proc.stdout
+
+
+def test_all_entry_points_hashseed_independent():
+    first = _run(1)
+    second = _run(2)
+    assert first == second  # byte-identical across hash seeds
+
+    lines = first.decode().splitlines()
+    rows = [json.loads(line) for line in lines]
+    assert [row["name"] for row in rows] == [
+        "crash", "obg", "balls", "gossip", "byzantine"]
+    for row in rows:
+        assert row["rounds"] >= 1
+        assert len(row["messages_per_round"]) == row["rounds"]
+    by_name = {row["name"]: row for row in rows}
+    assert by_name["crash"]["crashed"] == [1]
+    # The lossy channel genuinely fired on the gossip run.
+    gossip_faults = by_name["gossip"]["faults"]
+    assert gossip_faults["dropped"] > 0 and gossip_faults["held"] > 0

@@ -139,6 +139,57 @@ class TestRecordAndReplay:
         assert result.crashed == {0}
 
 
+class TestStrategyRoundTrips:
+    """Record -> strict replay must be exact for every adaptive strategy,
+    including those whose decisions depend on observed fanout."""
+
+    def _round_trip(self, scenario, n, f, seed, adversary):
+        recorder = RecordingAdversary(adversary)
+        recorded = run_scenario(scenario, n, f, seed, adversary=recorder)
+        assert recorded.crashed  # the strategy actually fired
+        replayed = run_scenario(
+            scenario, n, f, seed,
+            adversary=ReplayAdversary(recorder.schedule, strict=True),
+        )
+        assert replayed.metrics.summary() == recorded.metrics.summary()
+        assert list(replayed.metrics.messages_per_round) == list(
+            recorded.metrics.messages_per_round)
+        assert list(replayed.metrics.bits_per_round) == list(
+            recorded.metrics.bits_per_round)
+        assert replayed.results == recorded.results
+        assert replayed.crashed == recorded.crashed
+        assert replayed.rounds == recorded.rounds
+
+    def test_committee_hunter_round_trips(self):
+        from random import Random
+
+        from repro.adversary.crash import CommitteeHunter
+
+        self._round_trip("crash", 12, 2, 3, CommitteeHunter(2, Random(4)))
+
+    def test_committee_hunter_mid_send_round_trips(self):
+        from random import Random
+
+        from repro.adversary.crash import CommitteeHunter
+
+        self._round_trip(
+            "crash", 12, 2, 3,
+            CommitteeHunter(2, Random(4), deliver_fraction=0.5))
+
+    def test_budgeted_adaptive_round_trips(self):
+        from repro.adversary.crash import BudgetedAdaptiveCrash
+
+        def policy(round_no, proposed, alive, trace, remaining):
+            # Crash the lowest alive index mid-send on even rounds.
+            if round_no % 2 or not remaining:
+                return {}
+            victim = min(alive)
+            sends = list(proposed.get(victim, []))
+            return {victim: sends[: len(sends) // 2]}
+
+        self._round_trip("gossip", 8, 3, 1, BudgetedAdaptiveCrash(3, policy))
+
+
 class TestArtifact:
     def test_json_roundtrip(self, tmp_path):
         artifact = ReproArtifact(
