@@ -9,6 +9,9 @@ Examples::
     python -m repro sweep --driver crash --n 16,32,64 --seeds 0-4 --jobs 4
     python -m repro runs --export md
     python -m repro perf --quick
+    python -m repro serve --quick
+    python -m repro serve --shards 2,4,8 --events serve_events.jsonl
+    python -m repro sweep --driver serve --n 64 --seeds 0-2 --f 1
     python -m repro falsify --n 8,12 --seeds 0-3 --jobs 4
     python -m repro falsify --replay .repro/repros/repro-crash-....json
     python -m repro faults --scenario crash,gossip --n 16 --f 2
@@ -412,33 +415,34 @@ def _obs_report(args: argparse.Namespace) -> int:
     return 0
 
 
-def _import_perf_harness():
-    """Import :mod:`benchmarks.perf`, which lives next to ``src/``.
+def _import_bench(name: str):
+    """Import ``benchmarks.<name>``, which lives next to ``src/``.
 
     ``benchmarks/`` is part of the repo checkout, not the installed
     package, so when ``repro`` was imported from an installed location
     or another cwd the repo root is added to ``sys.path`` first.
     """
+    import importlib
+
     try:
-        from benchmarks import perf
+        return importlib.import_module(f"benchmarks.{name}")
     except ImportError:
         from pathlib import Path
 
         import repro
 
         root = Path(repro.__file__).resolve().parents[2]
-        if not (root / "benchmarks" / "perf.py").is_file():
+        if not (root / "benchmarks" / f"{name}.py").is_file():
             raise SystemExit(
-                "python -m repro perf: cannot locate benchmarks/perf.py; "
-                "run from a repo checkout"
+                f"python -m repro {name}: cannot locate "
+                f"benchmarks/{name}.py; run from a repo checkout"
             )
         sys.path.insert(0, str(root))
-        from benchmarks import perf
-    return perf
+        return importlib.import_module(f"benchmarks.{name}")
 
 
 def cmd_perf(args: argparse.Namespace) -> int:
-    perf = _import_perf_harness()
+    perf = _import_bench("perf")
     argv: list[str] = ["--out", args.out]
     if args.quick:
         argv.append("--quick")
@@ -447,6 +451,24 @@ def cmd_perf(args: argparse.Namespace) -> int:
     if args.repeat is not None:
         argv.extend(["--repeat", str(args.repeat)])
     return perf.main(argv)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    serve = _import_bench("serve")
+    argv: list[str] = ["--out", args.out]
+    if args.quick:
+        argv.append("--quick")
+    if args.shards:
+        argv.extend(["--shards", args.shards])
+    if args.requests is not None:
+        argv.extend(["--requests", str(args.requests)])
+    if args.clients is not None:
+        argv.extend(["--clients", str(args.clients)])
+    if args.seed is not None:
+        argv.extend(["--seed", str(args.seed)])
+    if args.events:
+        argv.extend(["--events", args.events])
+    return serve.main(argv)
 
 
 def cmd_runs(args: argparse.Namespace) -> int:
@@ -562,7 +584,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--driver", default="crash",
         choices=["crash", "byzantine", "obg", "gossip", "balls",
-                 "reelection", "falsify", "faults"],
+                 "reelection", "falsify", "faults", "serve"],
         help="named summary driver from repro.engine.sweeps",
     )
     sweep.add_argument("--n", default="16,32,64",
@@ -671,6 +693,27 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--out", default="BENCH_perf.json",
                       help="output JSON path (default BENCH_perf.json)")
     perf.set_defaults(func=cmd_perf)
+
+    serve = sub.add_parser(
+        "serve",
+        help="load-benchmark the renaming service; write BENCH_serve.json",
+    )
+    serve.add_argument("--quick", action="store_true",
+                       help="~5k requests, 2 shard counts (CI smoke)")
+    serve.add_argument("--shards", default=None,
+                       help="comma list of shard counts overriding the "
+                            "matrix (default 2,4,8)")
+    serve.add_argument("--requests", type=int, default=None,
+                       help="requests per run (default 120000)")
+    serve.add_argument("--clients", type=int, default=None,
+                       help="client identities (default 256)")
+    serve.add_argument("--seed", type=int, default=None,
+                       help="workload + protocol seed (default 0)")
+    serve.add_argument("--events", default=None, metavar="PATH",
+                       help="also write the serve event stream as JSONL")
+    serve.add_argument("--out", default="BENCH_serve.json",
+                       help="output JSON path (default BENCH_serve.json)")
+    serve.set_defaults(func=cmd_serve)
 
     obs = sub.add_parser(
         "obs", help="observability: inspect events, profile, telemetry"

@@ -19,10 +19,12 @@ Theorem 1.2, operationalised.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from types import MappingProxyType
+from typing import Callable, Mapping, Optional
 
 from repro.adversary.base import CrashAdversary
 from repro.core.crash_renaming import CrashRenamingConfig, run_crash_renaming
+from repro.faults.base import FaultModel
 
 #: Builds a fresh adversary per epoch: ``factory(epoch) -> adversary``.
 AdversaryFactory = Callable[[int], Optional[CrashAdversary]]
@@ -30,7 +32,12 @@ AdversaryFactory = Callable[[int], Optional[CrashAdversary]]
 
 @dataclass(frozen=True)
 class EpochReport:
-    """What one directory epoch did and what it cost."""
+    """What one directory epoch did and what it cost.
+
+    ``assignment`` is a read-only view over a private copy: mutating a
+    report cannot corrupt directory state, and directory churn after
+    the epoch cannot rewrite history.
+    """
 
     epoch: int
     members: int
@@ -39,7 +46,7 @@ class EpochReport:
     rounds: int
     messages: int
     bits: int
-    assignment: dict[int, int] = field(hash=False)
+    assignment: Mapping[int, int] = field(hash=False)
 
 
 class OverlayDirectory:
@@ -109,55 +116,95 @@ class OverlayDirectory:
         except KeyError:
             raise KeyError(f"compact id {compact} is unassigned") from None
 
+    def compact_id_or_none(self, uid: int) -> Optional[int]:
+        """Like :meth:`compact_id`, but a miss returns ``None``.
+
+        The hot read path of the serving layer: one dict probe, no
+        exception on the (routine) lookup-before-rename miss.
+        """
+        return self._compact_by_uid.get(uid)
+
     @property
     def assignment(self) -> dict[int, int]:
         """The current ``original -> compact`` table (a copy)."""
         return dict(self._compact_by_uid)
 
+    def withdraw_assignment(self) -> None:
+        """Clear the current assignment without running an epoch.
+
+        Used when membership empties out entirely between epochs
+        (everyone released): there is nobody left to rename, but the
+        departed holders' compact ids must stop resolving.
+        """
+        self._compact_by_uid = {}
+        self._uid_by_compact = {}
+
     # -- epochs ---------------------------------------------------------------
 
     def run_epoch(
-        self, adversary: Optional[CrashAdversary] = None
+        self,
+        adversary: Optional[CrashAdversary] = None,
+        *,
+        fault_model: Optional[FaultModel] = None,
+        observer: Optional[object] = None,
     ) -> EpochReport:
         """Rename the current membership; install the new assignment.
 
         Members crashed by the adversary during the epoch are treated
         as having churned out: they lose membership and receive no
-        compact identity.
+        compact identity.  ``fault_model`` injects link faults into the
+        epoch's protocol execution and ``observer`` receives its round
+        events — the same hooks every ``run_*`` entry point takes.
+
+        The install is atomic: if the execution raises (renaming
+        failure under injected faults, non-termination, a protocol
+        bug), no directory state changes — membership, the lookup
+        tables, the epoch counter, and history are all exactly as they
+        were, so a serving layer can fail the batch and keep going.
         """
         if not self.members:
             raise ValueError("cannot run an epoch with no members")
-        self.epoch += 1
+        epoch = self.epoch + 1
         uids = sorted(self.members)
         result = run_crash_renaming(
             uids,
             namespace=self.namespace,
             adversary=adversary,
             config=self.config,
-            seed=hash((self.seed, self.epoch)) & 0x7FFFFFFF,
+            seed=hash((self.seed, epoch)) & 0x7FFFFFFF,
+            fault_model=fault_model,
+            observer=observer,
         )
         outputs = result.outputs_by_uid()
-        departed = tuple(sorted(
-            uids[index] for index in result.crashed
-        ))
-        self.members -= set(departed)
-        self._compact_by_uid = dict(outputs)
-        self._uid_by_compact = {
+        compact_by_uid = dict(outputs)
+        uid_by_compact = {
             compact: uid for uid, compact in outputs.items()
         }
-        if len(self._uid_by_compact) != len(self._compact_by_uid):
+        if len(uid_by_compact) != len(compact_by_uid):
             raise AssertionError(
                 "renaming produced duplicate compact ids -- protocol bug"
             )
+        departed = tuple(sorted(
+            uids[index] for index in result.crashed
+        ))
         report = EpochReport(
-            epoch=self.epoch,
+            epoch=epoch,
             members=len(uids),
             renamed=len(outputs),
             departed_during_epoch=departed,
             rounds=result.rounds,
             messages=result.metrics.correct_messages,
             bits=result.metrics.correct_bits,
-            assignment=dict(outputs),
+            assignment=MappingProxyType(dict(outputs)),
         )
+        # Install: nothing above mutated self, so an exception anywhere
+        # earlier leaves the directory exactly as it was.  The lookup
+        # tables are rebound wholesale (never mutated in place), which
+        # is what lets a concurrent reader on another thread always see
+        # a consistent epoch.
+        self.epoch = epoch
+        self.members -= set(departed)
+        self._compact_by_uid = compact_by_uid
+        self._uid_by_compact = uid_by_compact
         self.history.append(report)
         return report

@@ -52,6 +52,10 @@ def _load_default_drivers() -> None:
 
     DRIVERS.setdefault("faults", faults_driver.faults_run_summary)
 
+    from repro.serve import driver as serve_driver
+
+    DRIVERS.setdefault("serve", serve_driver.serve_run_summary)
+
 
 def driver_names() -> list[str]:
     _load_default_drivers()

@@ -1,0 +1,87 @@
+"""Renaming as a service: asyncio front door over sharded epochs.
+
+The serving layer promotes the epoch-based
+:class:`~repro.apps.overlay_directory.OverlayDirectory` into a
+long-lived concurrent service:
+
+* :mod:`repro.serve.service` — the asyncio :class:`RenamingService`
+  accepting rename / lookup / release from many clients;
+* :mod:`repro.serve.batching` — deterministic epoch batching
+  (``max_batch`` / ``max_wait``);
+* :mod:`repro.serve.sharding` — namespace partitioning into
+  independent directories with globally unique interleaved ids;
+* :mod:`repro.serve.loadgen` — seeded load profiles, trace generation,
+  latency histograms, and the benchmark harness;
+* :mod:`repro.serve.obs` — the ``repro.obs/serve@1`` event contract;
+* :mod:`repro.serve.driver` — the ``serve`` sweep-engine driver.
+"""
+
+from repro.serve.batching import (
+    Batch,
+    BatchPolicy,
+    EpochBatcher,
+    plan_batches,
+)
+from repro.serve.loadgen import (
+    DEFAULT_PROFILE,
+    QUICK_PROFILE,
+    LatencyHistogram,
+    LoadProfile,
+    LoadReport,
+    Request,
+    execute_profile,
+    generate_trace,
+    run_load,
+    trace_digest,
+)
+from repro.serve.obs import (
+    SERVE_EVENT_FORMAT,
+    SERVE_EVENT_KINDS,
+    validate_serve_events,
+)
+from repro.serve.service import (
+    NotRenamed,
+    RenamingService,
+    ServeError,
+    ShardDegraded,
+)
+from repro.serve.sharding import (
+    EpochOutcome,
+    Shard,
+    ShardOp,
+    global_compact,
+    net_delta,
+    shard_of,
+    split_compact,
+)
+
+__all__ = [
+    "Batch",
+    "BatchPolicy",
+    "DEFAULT_PROFILE",
+    "EpochBatcher",
+    "EpochOutcome",
+    "LatencyHistogram",
+    "LoadProfile",
+    "LoadReport",
+    "NotRenamed",
+    "QUICK_PROFILE",
+    "RenamingService",
+    "Request",
+    "SERVE_EVENT_FORMAT",
+    "SERVE_EVENT_KINDS",
+    "ServeError",
+    "Shard",
+    "ShardDegraded",
+    "ShardOp",
+    "execute_profile",
+    "generate_trace",
+    "global_compact",
+    "net_delta",
+    "plan_batches",
+    "run_load",
+    "shard_of",
+    "split_compact",
+    "trace_digest",
+    "validate_serve_events",
+]

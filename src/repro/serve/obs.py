@@ -1,0 +1,70 @@
+"""The ``repro.obs/serve@1`` event surface of the serving layer.
+
+Serve events ride the existing :mod:`repro.obs` recorder — they are
+ordinary ``repro.obs/events@1`` events whose ``kind`` is dotted under
+``serve.`` — so `python -m repro obs tail` validates and prints them
+like any other stream.  This module pins the *serve-specific* contract
+on top: which kinds exist and which ``data`` fields each must carry,
+so CI and tests can schema-validate a service run, not just the
+generic envelope.
+
+Events are emitted only from the event-loop thread (batch lifecycle,
+epoch results, degradation), never from inside a shard's protocol
+execution — per-request emission would melt the ring buffer at
+100k+ requests per run, and the protocol's own round events stay
+available by attaching an observer to a single shard.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+#: Format tag for the serve event family (stamped into benchmark
+#: output and checked by CI's serve-smoke job).
+SERVE_EVENT_FORMAT = "repro.obs/serve@1"
+
+#: Required ``data`` fields per serve event kind.
+SERVE_EVENT_KINDS: dict[str, tuple[str, ...]] = {
+    # Service lifecycle.
+    "serve.start": ("shards", "max_batch"),
+    "serve.drain": ("flushed",),
+    "serve.stop": ("epochs", "failed_epochs"),
+    # Batch lifecycle (one per closed batch).
+    "serve.batch.close": ("shard", "batch", "size", "reason"),
+    # Epoch execution (bracket one shard epoch off the event loop).
+    "serve.epoch.begin": ("shard", "epoch", "ops"),
+    "serve.epoch.end": ("shard", "epoch", "members", "renamed",
+                        "departed", "rounds", "messages", "bits",
+                        "wall_s"),
+    "serve.epoch.empty": ("shard", "ops"),
+    "serve.epoch.failed": ("shard", "epoch", "error", "wall_s"),
+    # A shard served a batch it could not complete; the service keeps
+    # serving every other shard.
+    "serve.shard.degraded": ("shard", "failures"),
+}
+
+
+def validate_serve_events(events: Iterable[dict]) -> list[str]:
+    """Serve-contract validation on top of the generic event schema.
+
+    Checks every ``serve.*`` event against :data:`SERVE_EVENT_KINDS`:
+    known kind, all required ``data`` fields present.  Returns
+    human-readable problems; empty means valid.  Non-serve events are
+    ignored (streams may interleave engine or round events).
+    """
+    problems: list[str] = []
+    for index, event in enumerate(events):
+        kind = event.get("kind", "")
+        if not kind.startswith("serve."):
+            continue
+        required = SERVE_EVENT_KINDS.get(kind)
+        if required is None:
+            problems.append(f"event {index}: unknown serve kind {kind!r}")
+            continue
+        data = event.get("data", {})
+        for field in required:
+            if field not in data:
+                problems.append(
+                    f"event {index}: {kind} missing data field {field!r}"
+                )
+    return problems

@@ -1,0 +1,535 @@
+"""The asyncio front door: renaming as a long-lived service.
+
+:class:`RenamingService` accepts ``rename`` / ``lookup`` / ``release``
+requests from many concurrent clients and turns them into epoch-based
+executions of the crash-resilient renaming protocol:
+
+* **Routing** — every original identity hashes to one of ``shards``
+  independent :class:`~repro.serve.sharding.Shard` directories.
+* **Batching** — per shard, state-changing requests coalesce in an
+  :class:`~repro.serve.batching.EpochBatcher` (``max_batch`` /
+  ``max_wait``); each closed batch becomes one protocol epoch.
+* **Concurrency** — epochs run *off the event loop* in a thread pool
+  (``run_in_executor``), one at a time per shard, concurrently across
+  shards; the loop stays free to accept requests and answer lookups
+  (which read the shard's current table directly, no queueing).
+* **Degradation** — a shard whose epoch fails (injected link faults,
+  renaming failure, non-termination) rolls its membership delta back
+  and fails only that batch's requests with :class:`ShardDegraded`;
+  every other shard, and the failed shard's next batch, keep serving.
+
+Two clocks. In *deterministic mode* callers stamp each request with a
+virtual ``arrival`` time (the load generator's trace does); batch
+boundaries then depend only on the submitted stream, never on the
+event loop's schedule — the property the A/B and determinism tests
+pin.  In *live mode* (no ``arrival``), the service stamps requests
+with ``loop.time()`` and arms a ``call_later`` alarm so a lonely
+request still flushes after ``max_wait`` real seconds.
+
+Serve-level events (``repro.obs/serve@1``, see
+:mod:`repro.serve.obs`) are emitted through the ordinary ``observer=``
+hook, always from the event-loop thread.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Mapping, Optional, Sequence
+
+from repro.core.crash_renaming import CrashRenamingConfig
+from repro.faults.spec import FaultSpec
+from repro.obs.events import observing
+from repro.obs.profile import PROFILE_FORMAT, PhaseProfiler
+from repro.serve.batching import (
+    CLOSE_DRAIN,
+    CLOSE_TIMEOUT,
+    Batch,
+    BatchPolicy,
+    EpochBatcher,
+)
+from repro.serve.sharding import (
+    LOOKUP,
+    RELEASE,
+    RENAME,
+    Shard,
+    ShardAdversaryFactory,
+    ShardOp,
+    shard_of,
+)
+
+
+class ServeError(RuntimeError):
+    """Base class for request-level service failures."""
+
+
+class NotRenamed(ServeError):
+    """A rename produced no name: the identity was released in the
+    same batch, or crashed out of its epoch."""
+
+    def __init__(self, uid: int, shard: int):
+        super().__init__(
+            f"identity {uid} holds no name after its epoch on shard {shard}"
+        )
+        self.uid = uid
+        self.shard = shard
+
+
+class ShardDegraded(ServeError):
+    """The batch's epoch failed; the shard rolled back and serves on."""
+
+    def __init__(self, shard: int, epoch: int, cause: BaseException):
+        super().__init__(
+            f"shard {shard} epoch {epoch} failed: "
+            f"{type(cause).__name__}: {cause}"
+        )
+        self.shard = shard
+        self.epoch = epoch
+        self.cause = cause
+
+
+class _ProfileTap:
+    """Observer that only collects phase times, never events.
+
+    ``enabled`` stays False so no event is emitted from protocol
+    threads; the attached profiler still routes the network through its
+    instrumented step.  One tap per shard — epochs of one shard are
+    serialized, so each profiler is touched by one thread at a time.
+    """
+
+    enabled = False
+
+    def __init__(self):
+        self.profiler = PhaseProfiler()
+
+    def emit(self, kind, **data):  # pragma: no cover - never called
+        pass
+
+
+class _Lane:
+    """One shard's serving state: batcher, queue, worker, failures."""
+
+    __slots__ = ("shard", "batcher", "queue", "task", "timer", "failures",
+                 "tap")
+
+    def __init__(self, shard: Shard, policy: BatchPolicy,
+                 tap: Optional[_ProfileTap]):
+        self.shard = shard
+        self.batcher = EpochBatcher(shard.index, policy)
+        self.queue: Optional[asyncio.Queue] = None
+        self.task: Optional[asyncio.Task] = None
+        self.timer: Optional[asyncio.TimerHandle] = None
+        self.failures = 0
+        self.tap = tap
+
+    @property
+    def index(self) -> int:
+        return self.shard.index
+
+
+class RenamingService:
+    """Sharded, batching renaming service over an asyncio event loop.
+
+    Use as an async context manager (or call :meth:`start` /
+    :meth:`aclose` explicitly) inside a running loop::
+
+        async with RenamingService(shards=4, namespace=1 << 20) as svc:
+            gid = await svc.rename(uid)
+            assert svc.lookup(uid) == gid
+            await svc.release(uid)
+            await svc.drain()
+
+    ``shard_faults`` maps a shard index to a :mod:`repro.faults.spec`
+    spec injected into that shard's every epoch; ``adversary_factory``
+    builds a per-``(shard, epoch)`` crash adversary.  ``profile_shards``
+    attaches a per-shard phase tap so :meth:`phase_report` breaks each
+    shard's epochs into the protocol's plan/charge/deliver/advance
+    phases (slightly slower: the instrumented network step runs).
+    """
+
+    def __init__(
+        self,
+        *,
+        shards: int = 4,
+        namespace: int = 1 << 20,
+        seed: int = 0,
+        max_batch: int = 64,
+        max_wait: Optional[float] = 0.1,
+        config: Optional[CrashRenamingConfig] = None,
+        shard_faults: Optional[Mapping[int, FaultSpec]] = None,
+        adversary_factory: Optional[ShardAdversaryFactory] = None,
+        observer: Optional[object] = None,
+        executor: Optional[ThreadPoolExecutor] = None,
+        profile_shards: bool = False,
+    ):
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if namespace < 1:
+            raise ValueError(f"namespace must be positive, got {namespace}")
+        if config is None:
+            from repro.analysis.experiments import (
+                EXPERIMENT_ELECTION_CONSTANT,
+            )
+
+            config = CrashRenamingConfig(
+                election_constant=EXPERIMENT_ELECTION_CONSTANT,
+            )
+        self.shards = shards
+        self.namespace = namespace
+        self.seed = seed
+        self.policy = BatchPolicy(max_batch=max_batch, max_wait=max_wait)
+        self.observer = observer
+        self.profiler = PhaseProfiler()
+        faults = dict(shard_faults or {})
+        unknown = [s for s in faults if not 0 <= s < shards]
+        if unknown:
+            raise ValueError(
+                f"shard_faults names shards {unknown} outside [0, {shards})"
+            )
+        self._lanes = []
+        for index in range(shards):
+            tap = _ProfileTap() if profile_shards else None
+            self._lanes.append(_Lane(
+                Shard(
+                    index, shards, namespace=namespace, seed=seed,
+                    config=config, fault_spec=faults.get(index),
+                    adversary_factory=adversary_factory,
+                    observer=tap,
+                ),
+                self.policy,
+                tap,
+            ))
+        self.epochs = 0
+        self.empty_batches = 0
+        self.failed_epochs = 0
+        self._submitted = 0
+        self._executor = executor
+        self._own_executor = executor is None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._started = False
+        self._closed = False
+
+    # -- lifecycle ------------------------------------------------------
+
+    async def __aenter__(self) -> "RenamingService":
+        self.start()
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.aclose()
+
+    def start(self) -> None:
+        """Bind to the running loop, start executors and lane workers."""
+        if self._started:
+            raise RuntimeError("service already started")
+        self._started = True
+        self._loop = asyncio.get_running_loop()
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.shards, thread_name_prefix="repro-serve",
+            )
+        for lane in self._lanes:
+            lane.queue = asyncio.Queue()
+            lane.task = self._loop.create_task(
+                self._run_lane(lane), name=f"repro-serve-shard{lane.index}",
+            )
+        self._emit("serve.start", shards=self.shards,
+                   max_batch=self.policy.max_batch,
+                   max_wait=self.policy.max_wait,
+                   namespace=self.namespace, seed=self.seed)
+
+    async def drain(self) -> None:
+        """Flush open batches and wait until every queued epoch ran."""
+        self._check_running()
+        flushed = 0
+        for lane in self._lanes:
+            if self._flush_lane(lane, CLOSE_DRAIN):
+                flushed += 1
+        await asyncio.gather(*(lane.queue.join() for lane in self._lanes))
+        self._emit("serve.drain", flushed=flushed)
+
+    async def aclose(self) -> None:
+        """Drain, then stop the lane workers and the owned executor."""
+        if self._closed or not self._started:
+            self._closed = True
+            return
+        await self.drain()
+        self._closed = True
+        for lane in self._lanes:
+            if lane.timer is not None:
+                lane.timer.cancel()
+            lane.task.cancel()
+        await asyncio.gather(*(lane.task for lane in self._lanes),
+                             return_exceptions=True)
+        if self._own_executor and self._executor is not None:
+            self._executor.shutdown(wait=True)
+        self._emit("serve.stop", epochs=self.epochs,
+                   failed_epochs=self.failed_epochs,
+                   batches=self.batches, requests=self._submitted)
+
+    def _check_running(self) -> None:
+        if not self._started:
+            raise RuntimeError("service not started; use 'async with' or "
+                               "call start() inside a running loop")
+        if self._closed:
+            raise RuntimeError("service is closed")
+
+    # -- the front door -------------------------------------------------
+
+    def submit(self, kind: str, uid: int,
+               arrival: Optional[float] = None) -> "asyncio.Future":
+        """Enqueue one state-changing request; returns its future.
+
+        Synchronous (no await): the request joins its shard's open
+        batch before control returns, so per-shard request order equals
+        submission order — the determinism contract.  ``arrival`` is a
+        virtual timestamp (deterministic mode); ``None`` stamps the
+        request with the loop clock and arms the live-mode alarm.
+        """
+        self._check_running()
+        if kind not in (RENAME, RELEASE):
+            raise ValueError(f"cannot batch request kind {kind!r}")
+        if not 1 <= uid <= self.namespace:
+            raise ValueError(
+                f"identity {uid} outside [1, {self.namespace}]"
+            )
+        lane = self._lanes[shard_of(uid, self.shards)]
+        future = self._loop.create_future()
+        op = ShardOp(self._submitted, kind, uid, handle=future)
+        self._submitted += 1
+        live = arrival is None
+        if live:
+            arrival = self._loop.time()
+        for batch in lane.batcher.offer(op, arrival):
+            self._dispatch(lane, batch)
+        if live:
+            self._arm_timer(lane)
+        elif lane.timer is not None and not len(lane.batcher):
+            lane.timer.cancel()
+            lane.timer = None
+        return future
+
+    async def rename(self, uid: int,
+                     arrival: Optional[float] = None) -> int:
+        """Acquire (or refresh) the global compact id of ``uid``.
+
+        Resolves after the epoch that covers this request: the id is
+        from the *new* assignment.  Raises :class:`NotRenamed` if the
+        identity ends the epoch without a name, :class:`ShardDegraded`
+        if the shard's epoch failed.
+        """
+        return await self.submit(RENAME, uid, arrival)
+
+    async def release(self, uid: int,
+                      arrival: Optional[float] = None) -> bool:
+        """Give up ``uid``'s compact id (idempotent); True when applied."""
+        return await self.submit(RELEASE, uid, arrival)
+
+    def lookup(self, uid: int) -> Optional[int]:
+        """Current global compact id of ``uid``, or ``None`` (miss).
+
+        Served synchronously from the shard's installed table — reads
+        never queue behind epochs and never block the loop.  Reads are
+        *epoch-consistent* but may trail in-flight batches.
+        """
+        if not 1 <= uid <= self.namespace:
+            raise ValueError(
+                f"identity {uid} outside [1, {self.namespace}]"
+            )
+        return self._lanes[shard_of(uid, self.shards)].shard.lookup(uid)
+
+    def original_of(self, global_id: int) -> Optional[int]:
+        """Inverse lookup across shards, or ``None``."""
+        from repro.serve.sharding import split_compact
+
+        local, shard = split_compact(global_id, self.shards)
+        directory = self._lanes[shard].shard.directory
+        try:
+            return directory.original_id(local)
+        except KeyError:
+            return None
+
+    # -- batching / timers ---------------------------------------------
+
+    def _dispatch(self, lane: _Lane, batch: Batch) -> None:
+        self._emit("serve.batch.close", shard=lane.index, batch=batch.index,
+                   size=len(batch), reason=batch.reason)
+        lane.queue.put_nowait(batch)
+
+    def _flush_lane(self, lane: _Lane, reason: str) -> bool:
+        if lane.timer is not None:
+            lane.timer.cancel()
+            lane.timer = None
+        batch = lane.batcher.flush(reason)
+        if batch is None:
+            return False
+        self._dispatch(lane, batch)
+        return True
+
+    def _arm_timer(self, lane: _Lane) -> None:
+        """Live mode: a lonely batch flushes after ``max_wait`` seconds."""
+        if self.policy.max_wait is None:
+            return
+        if lane.timer is not None:
+            if len(lane.batcher):
+                return
+            lane.timer.cancel()
+            lane.timer = None
+        if not len(lane.batcher):
+            return
+        lane.timer = self._loop.call_later(
+            self.policy.max_wait, self._timer_fired, lane,
+        )
+
+    def _timer_fired(self, lane: _Lane) -> None:
+        lane.timer = None
+        if self._closed:
+            return
+        self._flush_lane(lane, CLOSE_TIMEOUT)
+
+    # -- epoch execution ------------------------------------------------
+
+    async def _run_lane(self, lane: _Lane) -> None:
+        while True:
+            batch = await lane.queue.get()
+            try:
+                await self._execute_batch(lane, batch)
+            finally:
+                lane.queue.task_done()
+
+    async def _execute_batch(self, lane: _Lane, batch: Batch) -> None:
+        epoch = lane.shard.directory.epoch + 1
+        self._emit("serve.epoch.begin", shard=lane.index, epoch=epoch,
+                   ops=len(batch))
+        started = time.perf_counter()
+        try:
+            outcome = await self._loop.run_in_executor(
+                self._executor, lane.shard.execute, batch.ops,
+            )
+        except Exception as error:
+            wall = time.perf_counter() - started
+            lane.failures += 1
+            self.failed_epochs += 1
+            self.profiler.add(f"shard{lane.index}:failed_epoch", wall)
+            self._emit("serve.epoch.failed", shard=lane.index, epoch=epoch,
+                       error=f"{type(error).__name__}: {error}"[:200],
+                       wall_s=round(wall, 6))
+            self._emit("serve.shard.degraded", shard=lane.index,
+                       failures=lane.failures)
+            failure = ShardDegraded(lane.index, epoch, error)
+            for op in batch.ops:
+                if not op.handle.done():
+                    op.handle.set_exception(failure)
+            return
+        wall = time.perf_counter() - started
+        for op in batch.ops:
+            future = op.handle
+            if future.done():
+                continue
+            if op.kind == RELEASE:
+                future.set_result(True)
+                continue
+            value = lane.shard.resolve(outcome, op)
+            if value is None:
+                future.set_exception(NotRenamed(op.uid, lane.index))
+            else:
+                future.set_result(value)
+        if not outcome.ran:
+            self.empty_batches += 1
+            self.profiler.add(f"shard{lane.index}:empty_batch", wall)
+            self._emit("serve.epoch.empty", shard=lane.index,
+                       ops=len(batch))
+            return
+        self.epochs += 1
+        self.profiler.add(f"shard{lane.index}:epoch", wall)
+        report = outcome.report
+        self._emit(
+            "serve.epoch.end", shard=lane.index, epoch=report.epoch,
+            members=report.members, renamed=report.renamed,
+            departed=len(report.departed_during_epoch),
+            rounds=report.rounds, messages=report.messages,
+            bits=report.bits, wall_s=round(wall, 6),
+        )
+
+    # -- introspection --------------------------------------------------
+
+    @property
+    def batches(self) -> int:
+        return sum(lane.batcher.closed for lane in self._lanes)
+
+    def boundaries(self) -> list[list[dict]]:
+        """Per-shard batch boundary records (see ``Batch.boundary``)."""
+        return [list(lane.batcher.boundaries) for lane in self._lanes]
+
+    def histories(self) -> list[list]:
+        """Per-shard :class:`EpochReport` histories."""
+        return [list(lane.shard.directory.history) for lane in self._lanes]
+
+    def assignment(self) -> dict[int, int]:
+        """The merged ``original -> global compact`` table, all shards."""
+        merged: dict[int, int] = {}
+        for lane in self._lanes:
+            merged.update(lane.shard.global_assignment())
+        return merged
+
+    def stats(self) -> dict:
+        """Scalar service counters (JSON-friendly)."""
+        totals = {"rounds": 0, "messages": 0, "bits": 0}
+        for lane in self._lanes:
+            for report in lane.shard.directory.history:
+                totals["rounds"] += report.rounds
+                totals["messages"] += report.messages
+                totals["bits"] += report.bits
+        return {
+            "shards": self.shards,
+            "requests": self._submitted,
+            "batches": self.batches,
+            "epochs": self.epochs,
+            "empty_batches": self.empty_batches,
+            "failed_epochs": self.failed_epochs,
+            "members": sum(len(lane.shard.directory.members)
+                           for lane in self._lanes),
+            **totals,
+        }
+
+    def per_shard_stats(self) -> list[dict]:
+        rows = []
+        for lane in self._lanes:
+            directory = lane.shard.directory
+            rows.append({
+                "shard": lane.index,
+                "members": len(directory.members),
+                "epochs": directory.epoch,
+                "batches": lane.batcher.closed,
+                "failures": lane.failures,
+                "messages": sum(r.messages for r in directory.history),
+                "bits": sum(r.bits for r in directory.history),
+            })
+        return rows
+
+    def phase_report(self) -> dict:
+        """Per-shard phase breakdown (``repro.obs/profile@1``).
+
+        Always contains the ``shard<k>:epoch`` wall time measured
+        around each executor call; with ``profile_shards=True`` also
+        the protocol-phase split (``shard<k>:plan`` ...) from each
+        shard's tap.
+        """
+        merged = PhaseProfiler()
+        merged.merge(self.profiler)
+        report = merged.report()
+        for lane in self._lanes:
+            if lane.tap is None:
+                continue
+            tap_report = lane.tap.profiler.report()
+            for phase, row in tap_report["phases"].items():
+                report["phases"][f"shard{lane.index}:{phase}"] = row
+        report["schema"] = PROFILE_FORMAT
+        return report
+
+    # -- events ---------------------------------------------------------
+
+    def _emit(self, kind: str, **data) -> None:
+        if observing(self.observer):
+            self.observer.emit(kind, **data)

@@ -97,6 +97,93 @@ class TestEpochs:
         assert [report.epoch for report in directory.history] == [1, 2]
 
 
+class TestReportImmutability:
+    def test_assignment_rejects_mutation(self):
+        directory = fresh_directory(n=6)
+        report = directory.run_epoch()
+        with pytest.raises(TypeError):
+            report.assignment[100] = 999
+        with pytest.raises((TypeError, AttributeError)):
+            report.assignment.clear()
+
+    def test_mutation_attempt_leaves_directory_intact(self):
+        directory = fresh_directory(n=6)
+        report = directory.run_epoch()
+        before = directory.assignment
+        try:
+            report.assignment[100] = 999
+        except TypeError:
+            pass
+        assert directory.assignment == before
+        assert dict(report.assignment) == before
+
+    def test_history_survives_later_churn(self):
+        directory = fresh_directory(n=6)
+        first = directory.run_epoch()
+        frozen = dict(first.assignment)
+        directory.join(9_999)
+        directory.run_epoch()
+        assert dict(directory.history[0].assignment) == frozen
+
+    def test_assignment_property_returns_a_copy(self):
+        directory = fresh_directory(n=6)
+        directory.run_epoch()
+        copy = directory.assignment
+        copy[100] = 999
+        assert directory.assignment != copy
+
+
+class TestServingSurface:
+    def test_compact_id_or_none_miss_and_hit(self):
+        directory = fresh_directory(n=6)
+        assert directory.compact_id_or_none(100) is None
+        directory.run_epoch()
+        assert directory.compact_id_or_none(100) == directory.compact_id(100)
+        assert directory.compact_id_or_none(9_999) is None
+
+    def test_withdraw_assignment_clears_both_tables(self):
+        directory = fresh_directory(n=4)
+        directory.run_epoch()
+        compact = directory.compact_id(100)
+        directory.withdraw_assignment()
+        assert directory.compact_id_or_none(100) is None
+        with pytest.raises(KeyError):
+            directory.original_id(compact)
+        # Membership and history are untouched -- only the names went.
+        assert len(directory.members) == 4
+        assert len(directory.history) == 1
+
+    def test_failed_epoch_changes_nothing(self):
+        from repro.faults.spec import build_fault_model
+
+        directory = fresh_directory(n=8, seed=2)
+        directory.run_epoch()
+        epoch = directory.epoch
+        members = set(directory.members)
+        assignment = directory.assignment
+        lethal = build_fault_model(
+            [{"kind": "omission", "p": 1.0}], len(members), seed=5,
+        )
+        with pytest.raises(Exception):
+            directory.run_epoch(fault_model=lethal)
+        assert directory.epoch == epoch
+        assert directory.members == members
+        assert directory.assignment == assignment
+        assert len(directory.history) == 1
+
+    def test_round_trip_release_then_rejoin(self):
+        directory = fresh_directory(n=8)
+        directory.run_epoch()
+        uid = sorted(directory.members)[0]
+        directory.leave(uid)
+        directory.run_epoch()
+        assert directory.compact_id_or_none(uid) is None
+        directory.join(uid)
+        report = directory.run_epoch()
+        assert report.assignment[uid] == directory.compact_id(uid)
+        assert sorted(report.assignment.values()) == list(range(1, 9))
+
+
 class TestChurnUnderFailures:
     def test_crashed_members_are_departed(self):
         directory = fresh_directory(n=16, seed=3)
