@@ -1,0 +1,189 @@
+"""Chaos frontier benchmark for the renaming service.
+
+Usage::
+
+    python -m repro chaos                 # full ladder, 16k requests
+    python -m repro chaos --quick         # CI smoke: 4 rungs, 2k requests
+    python -m repro chaos --events chaos_events.jsonl
+
+Runs the serve-level degradation ladder (:mod:`repro.serve.chaos`):
+each rung injects a seeded link-fault model into shard 0 of a live
+:class:`~repro.serve.service.RenamingService` — usually bounded to a
+transient window of protocol attempts — plays the same deterministic
+load trace twice (*resilient*: retries + circuit breaker; *baseline*:
+PR 6 fail-the-batch), and classifies both runs with the
+:mod:`repro.faults.degradation` vocabulary.  The output is the
+service's graceful-degradation story as one table: where retries keep
+goodput at 1.0, where the breaker quarantines a dead shard, and where
+the baseline loses whole batches on the same trace.
+
+Results are written to ``BENCH_chaos.json`` (``repro.serve/chaos@1``).
+The exit code asserts the frontier's load-bearing claims, so CI fails
+on regressions, never on timings:
+
+* the fault-free control rung is ``SAFE_TERMINATED`` in both arms;
+* no resilient rung violates unique-names or strands a future;
+* the windowed-omission rungs recover: goodput >= 0.95 and the
+  breaker is closed again by the end of the run;
+* all recorded events validate against ``repro.obs/serve@2``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.serve.chaos import (
+    CHAOS_FORMAT,
+    SCENARIO_RESILIENT,
+    default_chaos_ladder,
+    format_frontier,
+    run_chaos,
+)
+from repro.serve.loadgen import LoadProfile
+from repro.serve.resilience import ResiliencePolicy
+
+#: The chaos workload: smaller than the serve benchmark's (every rung
+#: runs twice), rename/release-heavy so every shard sees many epochs.
+CHAOS_PROFILE = LoadProfile(
+    clients=96, requests=16_000, shards=4, max_batch=32, max_wait=0.002,
+    arrival_rate=20_000.0, rename_weight=10.0, lookup_weight=80.0,
+    release_weight=10.0, namespace=1 << 16, seed=7,
+)
+
+#: CI smoke: same shape, four rungs, seconds not minutes.
+QUICK_PROFILE = CHAOS_PROFILE.scaled(clients=40, requests=2_000, shards=2,
+                                     max_batch=16)
+
+#: Windowed rungs whose resilient arm must fully recover (the
+#: acceptance bar: goodput >= 0.95, breaker closed at end of run).
+RECOVERY_RUNGS = ("omission-10%-window", "omission-100%-window")
+
+GOODPUT_FLOOR = 0.95
+
+
+def check_frontier(rows: Sequence[dict]) -> list[str]:
+    """The frontier's acceptance assertions; returns failure strings."""
+    failures: list[str] = []
+    by_cell = {(row["rung"], row["scenario"]): row for row in rows}
+    for (rung, scenario), row in by_cell.items():
+        if rung == "none" and row["outcome"] != "SAFE_TERMINATED":
+            failures.append(
+                f"control rung must be SAFE_TERMINATED, got "
+                f"{row['outcome']} ({scenario})"
+            )
+        if scenario == SCENARIO_RESILIENT:
+            if not row.get("unique", False):
+                failures.append(f"unique-names violated at {rung}")
+            if row.get("unresolved", 0):
+                failures.append(
+                    f"{row['unresolved']} unresolved futures at {rung}"
+                )
+    for rung in RECOVERY_RUNGS:
+        row = by_cell.get((rung, SCENARIO_RESILIENT))
+        if row is None:
+            continue
+        if row["goodput"] < GOODPUT_FLOOR:
+            failures.append(
+                f"{rung}: resilient goodput {row['goodput']:.3f} < "
+                f"{GOODPUT_FLOOR}"
+            )
+        if row.get("breaker_state") not in (None, "closed"):
+            failures.append(
+                f"{rung}: breaker still {row['breaker_state']} after the "
+                f"fault window"
+            )
+    return failures
+
+
+def run_chaos_bench(
+    profile: LoadProfile,
+    *,
+    quick: bool = False,
+    resilience: Optional[ResiliencePolicy] = None,
+    events_path: Optional[str] = None,
+) -> dict:
+    """Run the ladder; returns the ``BENCH_chaos.json`` dict."""
+    from repro.obs import EventRecorder, validate_events
+    from repro.serve.obs import SERVE_EVENT_FORMAT, validate_serve_events
+
+    recorder = EventRecorder(capacity=200_000)
+    ladder = default_chaos_ladder(quick=quick)
+    frontier = run_chaos(profile, ladder=ladder, resilience=resilience,
+                         observer=recorder)
+    events = recorder.events()
+    problems = validate_events(events) + validate_serve_events(events)
+    results = {
+        "schema": CHAOS_FORMAT,
+        "event_format": SERVE_EVENT_FORMAT,
+        "profile": asdict(frontier["profile"]),
+        "resilience": json.loads(frontier["resilience"].to_json()),
+        "rows": frontier["rows"],
+        "summary": frontier["summary"],
+        "checks": check_frontier(frontier["rows"]),
+        "events": {
+            "recorded": len(events),
+            "dropped": recorder.dropped,
+            "schema_problems": len(problems),
+            "problems": problems[:20],
+        },
+    }
+    if events_path:
+        results["events"]["path"] = str(recorder.write_jsonl(events_path))
+    return results
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke: 4 rungs over a 2k-request trace")
+    parser.add_argument("--requests", type=int, default=None,
+                        help=f"requests per run (default "
+                             f"{CHAOS_PROFILE.requests}, or "
+                             f"{QUICK_PROFILE.requests} with --quick)")
+    parser.add_argument("--shards", type=int, default=None,
+                        help=f"shard count (default {CHAOS_PROFILE.shards})")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="workload + protocol seed (default "
+                             f"{CHAOS_PROFILE.seed})")
+    parser.add_argument("--resilience", default=None, metavar="JSON",
+                        help="override the resilient arm's policy "
+                             '(e.g. \'{"max_retries": 2}\')')
+    parser.add_argument("--events", default=None, metavar="PATH",
+                        help="also write the serve event stream as JSONL")
+    parser.add_argument("--out", default="BENCH_chaos.json",
+                        help="output JSON path (default BENCH_chaos.json)")
+    args = parser.parse_args(argv)
+
+    profile = QUICK_PROFILE if args.quick else CHAOS_PROFILE
+    overrides = {}
+    if args.requests is not None:
+        overrides["requests"] = args.requests
+    if args.shards is not None:
+        overrides["shards"] = args.shards
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if overrides:
+        profile = profile.scaled(**overrides)
+    resilience = (ResiliencePolicy.from_spec(args.resilience)
+                  if args.resilience else None)
+
+    results = run_chaos_bench(
+        profile, quick=args.quick, resilience=resilience,
+        events_path=args.events,
+    )
+    print(format_frontier(results["rows"]))
+    for check in results["checks"]:
+        print(f"FAIL: {check}")
+    out = Path(args.out)
+    out.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {out}")
+    failed = bool(results["checks"]) or results["events"]["schema_problems"]
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,6 +11,8 @@ Examples::
     python -m repro perf --quick
     python -m repro serve --quick
     python -m repro serve --shards 2,4,8 --events serve_events.jsonl
+    python -m repro chaos --quick
+    python -m repro chaos --resilience '{"max_retries": 2}'
     python -m repro sweep --driver serve --n 64 --seeds 0-2 --f 1
     python -m repro falsify --n 8,12 --seeds 0-3 --jobs 4
     python -m repro falsify --replay .repro/repros/repro-crash-....json
@@ -471,6 +473,24 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return serve.main(argv)
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    chaos = _import_bench("chaos")
+    argv: list[str] = ["--out", args.out]
+    if args.quick:
+        argv.append("--quick")
+    if args.requests is not None:
+        argv.extend(["--requests", str(args.requests)])
+    if args.shards is not None:
+        argv.extend(["--shards", str(args.shards)])
+    if args.seed is not None:
+        argv.extend(["--seed", str(args.seed)])
+    if args.resilience:
+        argv.extend(["--resilience", args.resilience])
+    if args.events:
+        argv.extend(["--events", args.events])
+    return chaos.main(argv)
+
+
 def cmd_runs(args: argparse.Namespace) -> int:
     from datetime import datetime, timezone
 
@@ -714,6 +734,28 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--out", default="BENCH_serve.json",
                        help="output JSON path (default BENCH_serve.json)")
     serve.set_defaults(func=cmd_serve)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="serve-level chaos frontier (resilient vs baseline); "
+             "write BENCH_chaos.json",
+    )
+    chaos.add_argument("--quick", action="store_true",
+                       help="4 rungs over a 2k-request trace (CI smoke)")
+    chaos.add_argument("--requests", type=int, default=None,
+                       help="requests per run (default 16000)")
+    chaos.add_argument("--shards", type=int, default=None,
+                       help="shard count (default 4)")
+    chaos.add_argument("--seed", type=int, default=None,
+                       help="workload + protocol seed (default 7)")
+    chaos.add_argument("--resilience", default=None, metavar="JSON",
+                       help="resilience policy override for the "
+                            "resilient arm")
+    chaos.add_argument("--events", default=None, metavar="PATH",
+                       help="also write the serve event stream as JSONL")
+    chaos.add_argument("--out", default="BENCH_chaos.json",
+                       help="output JSON path (default BENCH_chaos.json)")
+    chaos.set_defaults(func=cmd_chaos)
 
     obs = sub.add_parser(
         "obs", help="observability: inspect events, profile, telemetry"

@@ -147,6 +147,7 @@ class OverlayDirectory:
         *,
         fault_model: Optional[FaultModel] = None,
         observer: Optional[object] = None,
+        seed_salt: int = 0,
     ) -> EpochReport:
         """Rename the current membership; install the new assignment.
 
@@ -155,6 +156,12 @@ class OverlayDirectory:
         compact identity.  ``fault_model`` injects link faults into the
         epoch's protocol execution and ``observer`` receives its round
         events — the same hooks every ``run_*`` entry point takes.
+
+        ``seed_salt`` varies the protocol seed for *re-executions* of
+        the same epoch number: a failed epoch is rolled back without
+        advancing ``self.epoch``, so a retry with ``seed_salt=0`` would
+        replay the identical randomness.  ``0`` (the default) keeps the
+        historical seed formula bit-for-bit.
 
         The install is atomic: if the execution raises (renaming
         failure under injected faults, non-termination, a protocol
@@ -166,12 +173,16 @@ class OverlayDirectory:
             raise ValueError("cannot run an epoch with no members")
         epoch = self.epoch + 1
         uids = sorted(self.members)
+        if seed_salt:
+            seed = hash((self.seed, epoch, seed_salt)) & 0x7FFFFFFF
+        else:
+            seed = hash((self.seed, epoch)) & 0x7FFFFFFF
         result = run_crash_renaming(
             uids,
             namespace=self.namespace,
             adversary=adversary,
             config=self.config,
-            seed=hash((self.seed, epoch)) & 0x7FFFFFFF,
+            seed=seed,
             fault_model=fault_model,
             observer=observer,
         )

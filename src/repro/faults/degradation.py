@@ -53,6 +53,16 @@ CRASHED = "CRASHED"
 #: Ordered best-to-worst, for frontier summaries.
 OUTCOMES = (SAFE_TERMINATED, SAFE_STALLED, SAFETY_VIOLATED, CRASHED)
 
+
+def outcome_rank(outcome: str) -> int:
+    """Severity index into :data:`OUTCOMES` (0 best, 3 worst).
+
+    Shared vocabulary for anything that compares degradation levels —
+    the serve-level chaos harness ranks its rung outcomes with the same
+    scale the protocol-level frontier uses.
+    """
+    return OUTCOMES.index(outcome)
+
 #: Invariants whose violation means "liveness lost", not "wrong answer".
 LIVENESS_INVARIANTS = frozenset({"round-budget"})
 

@@ -10,9 +10,13 @@ long-lived concurrent service:
   (``max_batch`` / ``max_wait``);
 * :mod:`repro.serve.sharding` — namespace partitioning into
   independent directories with globally unique interleaved ids;
+* :mod:`repro.serve.resilience` — deadlines, seeded retry backoff, and
+  the per-shard circuit breaker;
+* :mod:`repro.serve.chaos` — the serve-level degradation frontier
+  (resilient vs baseline, classified per fault rung);
 * :mod:`repro.serve.loadgen` — seeded load profiles, trace generation,
   latency histograms, and the benchmark harness;
-* :mod:`repro.serve.obs` — the ``repro.obs/serve@1`` event contract;
+* :mod:`repro.serve.obs` — the ``repro.obs/serve@2`` event contract;
 * :mod:`repro.serve.driver` — the ``serve`` sweep-engine driver.
 """
 
@@ -21,6 +25,16 @@ from repro.serve.batching import (
     BatchPolicy,
     EpochBatcher,
     plan_batches,
+)
+from repro.serve.chaos import (
+    CHAOS_FORMAT,
+    DEFAULT_CHAOS_RESILIENCE,
+    ChaosRung,
+    classify_serve_run,
+    default_chaos_ladder,
+    format_frontier,
+    run_chaos,
+    run_rung,
 )
 from repro.serve.loadgen import (
     DEFAULT_PROFILE,
@@ -39,9 +53,18 @@ from repro.serve.obs import (
     SERVE_EVENT_KINDS,
     validate_serve_events,
 )
+from repro.serve.resilience import (
+    CircuitBreaker,
+    ResiliencePolicy,
+    RetryBacklog,
+    classify_failure,
+    retry_delay,
+)
 from repro.serve.service import (
+    DeadlineExceeded,
     NotRenamed,
     RenamingService,
+    RequestShed,
     ServeError,
     ShardDegraded,
 )
@@ -58,7 +81,12 @@ from repro.serve.sharding import (
 __all__ = [
     "Batch",
     "BatchPolicy",
+    "CHAOS_FORMAT",
+    "ChaosRung",
+    "CircuitBreaker",
+    "DEFAULT_CHAOS_RESILIENCE",
     "DEFAULT_PROFILE",
+    "DeadlineExceeded",
     "EpochBatcher",
     "EpochOutcome",
     "LatencyHistogram",
@@ -68,20 +96,29 @@ __all__ = [
     "QUICK_PROFILE",
     "RenamingService",
     "Request",
+    "RequestShed",
+    "ResiliencePolicy",
+    "RetryBacklog",
     "SERVE_EVENT_FORMAT",
     "SERVE_EVENT_KINDS",
     "ServeError",
     "Shard",
     "ShardDegraded",
     "ShardOp",
+    "classify_failure",
+    "classify_serve_run",
+    "default_chaos_ladder",
     "execute_profile",
+    "format_frontier",
     "generate_trace",
     "global_compact",
     "net_delta",
     "plan_batches",
+    "retry_delay",
+    "run_chaos",
     "run_load",
+    "run_rung",
     "shard_of",
     "split_compact",
     "trace_digest",
-    "validate_serve_events",
 ]

@@ -39,17 +39,24 @@ def serve_run_summary(
     release_weight: float = 4.0,
     namespace: Optional[int] = None,
     faults: str = DEFAULT_FAULT_SPEC,
+    fault_window: Optional[str] = None,
+    resilience: Optional[str] = None,
     include_rounds: bool = False,
 ) -> dict:
     """One service load execution as a flat engine row.
 
     ``n`` = client identities, ``f`` = shards (indices ``0..f-1``)
     running every epoch under the ``faults`` spec (a JSON string, like
-    the ``faults`` driver's).  ``requests`` defaults to ``40 * n`` so
-    sweeps over ``n`` keep per-client load constant.  With
-    ``include_rounds`` the ledger columns carry *per-epoch* totals
-    (ordered by shard, then epoch) rather than per-round ones — an
-    epoch is the service's unit of protocol work.
+    the ``faults`` driver's).  ``fault_window`` (JSON ``[start, stop]``,
+    1-based attempts, half-open) bounds the injection to a transient
+    outage on those shards; ``resilience`` is a JSON
+    :class:`~repro.serve.resilience.ResiliencePolicy` spec (``"{}"``
+    for all defaults) enabling retries / breaker / deadlines — both
+    plain JSON strings so rows stay content-addressable.  ``requests``
+    defaults to ``40 * n`` so sweeps over ``n`` keep per-client load
+    constant.  With ``include_rounds`` the ledger columns carry
+    *per-epoch* totals (ordered by shard, then epoch) rather than
+    per-round ones — an epoch is the service's unit of protocol work.
     """
     if not 0 <= f <= shards:
         raise ValueError(f"f={f} must be within [0, shards={shards}]")
@@ -68,7 +75,13 @@ def serve_run_summary(
     )
     spec = json.loads(faults)
     shard_faults = {shard: spec for shard in range(f)} if f else None
-    report = execute_profile(profile, shard_faults=shard_faults)
+    windows = None
+    if fault_window is not None and f:
+        start, stop = json.loads(fault_window)
+        windows = {shard: (start, stop) for shard in range(f)}
+    report = execute_profile(profile, shard_faults=shard_faults,
+                             shard_fault_windows=windows,
+                             resilience=resilience)
     service = report["service"]
     rename_latency = report["latency"]["rename"]
     row = {
@@ -83,11 +96,17 @@ def serve_run_summary(
         "released": report["released"],
         "rename_misses": report["rename_misses"],
         "degraded": report["degraded"],
+        "shed": report["shed"],
+        "deadline_expired": report["deadline_expired"],
+        "unresolved": report["unresolved"],
         "lookup_hits": report["lookup_hits"],
         "lookup_misses": report["lookup_misses"],
         "batches": service["batches"],
         "epochs": service["epochs"],
         "failed_epochs": service["failed_epochs"],
+        "retries": service["retries"],
+        "breaker_opens": service.get("breaker_opens", 0),
+        "breaker_closes": service.get("breaker_closes", 0),
         "members": service["members"],
         "rounds": service["rounds"],
         "messages": service["messages"],

@@ -25,13 +25,26 @@ from __future__ import annotations
 
 import asyncio
 import hashlib
+import json
 import time
 from dataclasses import asdict, dataclass, replace
 from random import Random
 from typing import Mapping, Optional, Sequence
 
-from repro.serve.service import NotRenamed, RenamingService, ShardDegraded
+from repro.serve.resilience import ResiliencePolicy, ResilienceSpec
+from repro.serve.service import (
+    DeadlineExceeded,
+    NotRenamed,
+    RenamingService,
+    RequestShed,
+    ShardDegraded,
+)
 from repro.serve.sharding import LOOKUP, RELEASE, RENAME
+
+#: Histogram bucket for requests that failed (degraded / shed /
+#: deadline / error): kept out of the per-kind p50/p95/p99, which
+#: measure only requests the service actually answered.
+FAILED = "failed"
 
 
 @dataclass(frozen=True)
@@ -223,7 +236,10 @@ class LoadReport:
     released: int
     rename_misses: int
     degraded: int
+    shed: int
+    deadline_expired: int
     errors: int
+    unresolved: int
     lookup_hits: int
     lookup_misses: int
     latency: dict
@@ -245,7 +261,11 @@ async def run_load(
     Open loop, in trace order: state-changing requests are submitted
     without waiting for completion (latency is measured from submission
     to future resolution by a done-callback), lookups are answered
-    inline.  ``deterministic=True`` stamps requests with their virtual
+    inline.  Latency accounting is *end-to-end*: a retried request's
+    single future resolves only after its final attempt, so its sample
+    spans first submit → final resolution.  Failed requests (degraded /
+    shed / deadline / error) land in the ``failed`` histogram, keeping
+    the per-kind p50/p95/p99 a statement about answered requests.  ``deterministic=True`` stamps requests with their virtual
     arrivals so batch boundaries are a pure function of the trace;
     ``False`` exercises the live wall-clock batching path.  ``pace``
     replays arrivals against the wall clock at that speed multiple
@@ -254,11 +274,11 @@ async def run_load(
     overlap with dispatch.
     """
     hists = {RENAME: LatencyHistogram(), RELEASE: LatencyHistogram(),
-             LOOKUP: LatencyHistogram()}
+             LOOKUP: LatencyHistogram(), FAILED: LatencyHistogram()}
     counts = {
         "renames": 0, "releases": 0, "lookups": 0,
         "renamed": 0, "released": 0, "rename_misses": 0,
-        "degraded": 0, "errors": 0,
+        "degraded": 0, "shed": 0, "deadline_expired": 0, "errors": 0,
         "lookup_hits": 0, "lookup_misses": 0,
     }
     futures: list[asyncio.Future] = []
@@ -286,20 +306,37 @@ async def run_load(
 
         def _settled(fut: asyncio.Future, kind: str = op.kind,
                      submit_ts: float = t0) -> None:
-            hists[kind].record(time.perf_counter() - submit_ts)
+            if fut.cancelled():
+                return  # counted as unresolved at the drain site
+            elapsed = time.perf_counter() - submit_ts
             error = fut.exception()
             if error is None:
+                hists[kind].record(elapsed)
                 counts["renamed" if kind == RENAME else "released"] += 1
             elif isinstance(error, NotRenamed):
+                # Answered, just with "no name": an epoch covered it.
+                hists[kind].record(elapsed)
                 counts["rename_misses"] += 1
-            elif isinstance(error, ShardDegraded):
-                counts["degraded"] += 1
             else:
-                counts["errors"] += 1
+                hists[FAILED].record(elapsed)
+                if isinstance(error, RequestShed):
+                    counts["shed"] += 1
+                elif isinstance(error, DeadlineExceeded):
+                    counts["deadline_expired"] += 1
+                elif isinstance(error, ShardDegraded):
+                    counts["degraded"] += 1
+                else:
+                    counts["errors"] += 1
 
         future.add_done_callback(_settled)
         futures.append(future)
     await service.drain()
+    # drain() resolves every accepted request; a future still pending
+    # here is a service bug (or an aborted run) — cancel it and count
+    # it, never hang on it.
+    unresolved = [f for f in futures if not f.done()]
+    for future in unresolved:
+        future.cancel()
     if futures:
         await asyncio.gather(*futures, return_exceptions=True)
     wall = time.perf_counter() - started
@@ -308,6 +345,7 @@ async def run_load(
         wall_s=round(wall, 6),
         throughput_rps=round(len(trace) / wall, 1) if wall else 0.0,
         latency={kind: hist.summary() for kind, hist in hists.items()},
+        unresolved=len(unresolved),
         **counts,
     )
 
@@ -316,7 +354,9 @@ def execute_profile(
     profile: LoadProfile,
     *,
     shard_faults: Optional[Mapping[int, object]] = None,
+    shard_fault_windows: Optional[Mapping[int, tuple]] = None,
     adversary_factory=None,
+    resilience: ResilienceSpec = None,
     config=None,
     observer=None,
     profile_shards: bool = False,
@@ -332,6 +372,7 @@ def execute_profile(
     and a global-uniqueness verdict over the final assignment.
     """
     trace = generate_trace(profile)
+    policy = ResiliencePolicy.from_spec(resilience)
 
     async def _run() -> dict:
         service = RenamingService(
@@ -342,7 +383,9 @@ def execute_profile(
             max_wait=profile.max_wait,
             config=config,
             shard_faults=shard_faults,
+            shard_fault_windows=shard_fault_windows,
             adversary_factory=adversary_factory,
+            resilience=policy,
             observer=observer,
             profile_shards=profile_shards,
         )
@@ -355,6 +398,8 @@ def execute_profile(
             histories = service.histories()
             report = {
                 "profile": asdict(profile),
+                "resilience": (None if policy is None
+                               else json.loads(policy.to_json())),
                 "trace_sha256": trace_digest(trace),
                 **load.as_dict(),
                 "service": service.stats(),

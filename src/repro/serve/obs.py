@@ -1,4 +1,9 @@
-"""The ``repro.obs/serve@1`` event surface of the serving layer.
+"""The ``repro.obs/serve@2`` event surface of the serving layer.
+
+Version 2 (the resilience PR) adds the retry/breaker/shed/deadline
+kinds and requires a failure taxonomy ``failure`` on
+``serve.epoch.failed`` / ``serve.shard.degraded``.  Every @1 event is
+still emitted with all its @1 fields, so @1 consumers keep working.
 
 Serve events ride the existing :mod:`repro.obs` recorder — they are
 ordinary ``repro.obs/events@1`` events whose ``kind`` is dotted under
@@ -21,7 +26,7 @@ from typing import Iterable
 
 #: Format tag for the serve event family (stamped into benchmark
 #: output and checked by CI's serve-smoke job).
-SERVE_EVENT_FORMAT = "repro.obs/serve@1"
+SERVE_EVENT_FORMAT = "repro.obs/serve@2"
 
 #: Required ``data`` fields per serve event kind.
 SERVE_EVENT_KINDS: dict[str, tuple[str, ...]] = {
@@ -32,15 +37,34 @@ SERVE_EVENT_KINDS: dict[str, tuple[str, ...]] = {
     # Batch lifecycle (one per closed batch).
     "serve.batch.close": ("shard", "batch", "size", "reason"),
     # Epoch execution (bracket one shard epoch off the event loop).
-    "serve.epoch.begin": ("shard", "epoch", "ops"),
+    # ``attempt`` is 0 for a batch's first execution, k for its k-th
+    # retry (the retry seed salt).
+    "serve.epoch.begin": ("shard", "epoch", "ops", "attempt"),
     "serve.epoch.end": ("shard", "epoch", "members", "renamed",
                         "departed", "rounds", "messages", "bits",
                         "wall_s"),
     "serve.epoch.empty": ("shard", "ops"),
-    "serve.epoch.failed": ("shard", "epoch", "error", "wall_s"),
+    # ``failure`` is the taxonomy ("faults" / "non_termination" /
+    # "rename_failed" / "error"); the field is not named ``kind``
+    # because the event envelope reserves that for the event name.
+    "serve.epoch.failed": ("shard", "epoch", "failure", "attempt", "error",
+                           "wall_s"),
     # A shard served a batch it could not complete; the service keeps
     # serving every other shard.
-    "serve.shard.degraded": ("shard", "failures"),
+    "serve.shard.degraded": ("shard", "failures", "failure"),
+    # Resilience (emitted only with a resilience policy attached).
+    # A failed batch's survivors were scheduled for re-execution.
+    "serve.retry": ("shard", "batch", "attempt", "ops", "delay_s"),
+    # The shard's breaker opened (threshold consecutive failures, or a
+    # failed half-open probe), went half-open (cooldown elapsed; next
+    # execution is the probe), or closed (the probe succeeded).
+    "serve.breaker.open": ("shard", "failures"),
+    "serve.breaker.half_open": ("shard",),
+    "serve.breaker.close": ("shard",),
+    # Ops failed fast because the open shard's backlog was full.
+    "serve.shed": ("shard", "ops", "depth"),
+    # Ops cancelled because their per-request deadline passed.
+    "serve.deadline": ("shard", "expired", "attempt"),
 }
 
 

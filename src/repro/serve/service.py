@@ -17,6 +17,16 @@ executions of the crash-resilient renaming protocol:
   renaming failure, non-termination) rolls its membership delta back
   and fails only that batch's requests with :class:`ShardDegraded`;
   every other shard, and the failed shard's next batch, keep serving.
+* **Resilience** (opt-in, ``resilience=``) — failed batch members are
+  *retried* with seeded jittered exponential backoff instead of failed
+  outright; a per-shard circuit breaker opens after consecutive failed
+  epochs, defers work to a half-open probe, and sheds load beyond a
+  capacity bound; per-request deadlines cancel requests whose retry
+  would start too late.  See :mod:`repro.serve.resilience`.  Recovery
+  is state-free by construction: a failed epoch rolls the directory
+  back, so the probe epoch re-runs the protocol from the last good
+  assignment — the shard rebuilds from the rolled-back directory
+  rather than degrading forever.
 
 Two clocks. In *deterministic mode* callers stamp each request with a
 virtual ``arrival`` time (the load generator's trace does); batch
@@ -26,7 +36,7 @@ pin.  In *live mode* (no ``arrival``), the service stamps requests
 with ``loop.time()`` and arms a ``call_later`` alarm so a lonely
 request still flushes after ``max_wait`` real seconds.
 
-Serve-level events (``repro.obs/serve@1``, see
+Serve-level events (``repro.obs/serve@2``, see
 :mod:`repro.serve.obs`) are emitted through the ordinary ``observer=``
 hook, always from the event-loop thread.
 """
@@ -48,6 +58,16 @@ from repro.serve.batching import (
     Batch,
     BatchPolicy,
     EpochBatcher,
+)
+from repro.serve.resilience import (
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    CircuitBreaker,
+    ResiliencePolicy,
+    ResilienceSpec,
+    RetryBacklog,
+    classify_failure,
+    retry_delay,
 )
 from repro.serve.sharding import (
     LOOKUP,
@@ -77,16 +97,54 @@ class NotRenamed(ServeError):
 
 
 class ShardDegraded(ServeError):
-    """The batch's epoch failed; the shard rolled back and serves on."""
+    """The batch's epoch failed; the shard rolled back and serves on.
 
-    def __init__(self, shard: int, epoch: int, cause: BaseException):
+    ``kind`` is the failure taxonomy (:mod:`repro.serve.resilience`):
+    ``"faults"`` when injected link faults issued verdicts during the
+    epoch, ``"non_termination"`` / ``"rename_failed"`` for the
+    protocol's own failure modes, ``"error"`` otherwise — so callers
+    classify without string-matching ``type(cause).__name__``.  The
+    original exception is chained as ``__cause__`` (and kept on
+    ``.cause``), so tracebacks show the real protocol failure.
+    """
+
+    def __init__(self, shard: int, epoch: int, cause: BaseException,
+                 kind: str = "error"):
         super().__init__(
-            f"shard {shard} epoch {epoch} failed: "
+            f"shard {shard} epoch {epoch} failed ({kind}): "
             f"{type(cause).__name__}: {cause}"
         )
         self.shard = shard
         self.epoch = epoch
         self.cause = cause
+        self.kind = kind
+        self.__cause__ = cause
+
+
+class RequestShed(ServeError):
+    """The request was shed: its shard's breaker is open and the
+    deferred backlog is at capacity — failing fast beats queueing."""
+
+    def __init__(self, shard: int, depth: int):
+        super().__init__(
+            f"shard {shard} shed request: breaker open, "
+            f"{depth} ops already deferred"
+        )
+        self.shard = shard
+        self.depth = depth
+
+
+class DeadlineExceeded(ServeError):
+    """The request's deadline passed before an epoch could cover it."""
+
+    def __init__(self, uid: int, shard: int, deadline: float):
+        super().__init__(
+            f"identity {uid} exceeded its {deadline}s deadline on "
+            f"shard {shard}"
+        )
+        self.uid = uid
+        self.shard = shard
+        self.deadline = deadline
 
 
 class _ProfileTap:
@@ -107,14 +165,22 @@ class _ProfileTap:
         pass
 
 
+#: Lane-queue sentinels (resilient mode): wake to process due retries
+#: (live clock), and force the backlog empty at drain (virtual clock).
+_RETRY_WAKE = object()
+_DRAIN_FLUSH = object()
+
+
 class _Lane:
-    """One shard's serving state: batcher, queue, worker, failures."""
+    """One shard's serving state: batcher, queue, worker, resilience."""
 
     __slots__ = ("shard", "batcher", "queue", "task", "timer", "failures",
-                 "tap")
+                 "tap", "breaker", "backlog", "retries", "shed",
+                 "deadline_expired", "retry_timer", "vclock", "live")
 
     def __init__(self, shard: Shard, policy: BatchPolicy,
-                 tap: Optional[_ProfileTap]):
+                 tap: Optional[_ProfileTap],
+                 resilience: Optional[ResiliencePolicy]):
         self.shard = shard
         self.batcher = EpochBatcher(shard.index, policy)
         self.queue: Optional[asyncio.Queue] = None
@@ -122,6 +188,22 @@ class _Lane:
         self.timer: Optional[asyncio.TimerHandle] = None
         self.failures = 0
         self.tap = tap
+        self.breaker = (
+            CircuitBreaker(resilience.breaker_threshold,
+                           resilience.breaker_cooldown)
+            if resilience is not None else None
+        )
+        self.backlog = RetryBacklog() if resilience is not None else None
+        self.retries = 0
+        self.shed = 0
+        self.deadline_expired = 0
+        self.retry_timer: Optional[asyncio.TimerHandle] = None
+        # The lane's monotonic virtual clock: batches advance it to
+        # their last arrival, backlog entries to their due time.
+        self.vclock = 0.0
+        # Set as soon as any request arrives unstamped: retry due times
+        # are then on the loop clock and need call_later wakes.
+        self.live = False
 
     @property
     def index(self) -> int:
@@ -141,11 +223,17 @@ class RenamingService:
             await svc.drain()
 
     ``shard_faults`` maps a shard index to a :mod:`repro.faults.spec`
-    spec injected into that shard's every epoch; ``adversary_factory``
-    builds a per-``(shard, epoch)`` crash adversary.  ``profile_shards``
-    attaches a per-shard phase tap so :meth:`phase_report` breaks each
-    shard's epochs into the protocol's plan/charge/deliver/advance
-    phases (slightly slower: the instrumented network step runs).
+    spec injected into that shard's every epoch; ``shard_fault_windows``
+    bounds a shard's injection to a ``(start, stop)`` window of
+    protocol execution attempts (1-based, half-open) — a transient
+    outage.  ``adversary_factory`` builds a per-``(shard, epoch)``
+    crash adversary.  ``resilience`` (a
+    :class:`~repro.serve.resilience.ResiliencePolicy`, a JSON spec, or
+    a mapping) enables deadlines / retries / circuit breaking; ``None``
+    keeps the fail-the-batch behaviour.  ``profile_shards`` attaches a
+    per-shard phase tap so :meth:`phase_report` breaks each shard's
+    epochs into the protocol's plan/charge/deliver/advance phases
+    (slightly slower: the instrumented network step runs).
     """
 
     def __init__(
@@ -158,7 +246,9 @@ class RenamingService:
         max_wait: Optional[float] = 0.1,
         config: Optional[CrashRenamingConfig] = None,
         shard_faults: Optional[Mapping[int, FaultSpec]] = None,
+        shard_fault_windows: Optional[Mapping[int, tuple[int, int]]] = None,
         adversary_factory: Optional[ShardAdversaryFactory] = None,
+        resilience: ResilienceSpec = None,
         observer: Optional[object] = None,
         executor: Optional[ThreadPoolExecutor] = None,
         profile_shards: bool = False,
@@ -181,8 +271,10 @@ class RenamingService:
         self.policy = BatchPolicy(max_batch=max_batch, max_wait=max_wait)
         self.observer = observer
         self.profiler = PhaseProfiler()
+        self.resilience = ResiliencePolicy.from_spec(resilience)
         faults = dict(shard_faults or {})
-        unknown = [s for s in faults if not 0 <= s < shards]
+        windows = dict(shard_fault_windows or {})
+        unknown = [s for s in {*faults, *windows} if not 0 <= s < shards]
         if unknown:
             raise ValueError(
                 f"shard_faults names shards {unknown} outside [0, {shards})"
@@ -194,11 +286,13 @@ class RenamingService:
                 Shard(
                     index, shards, namespace=namespace, seed=seed,
                     config=config, fault_spec=faults.get(index),
+                    fault_window=windows.get(index),
                     adversary_factory=adversary_factory,
                     observer=tap,
                 ),
                 self.policy,
                 tap,
+                self.resilience,
             ))
         self.epochs = 0
         self.empty_batches = 0
@@ -240,13 +334,29 @@ class RenamingService:
                    namespace=self.namespace, seed=self.seed)
 
     async def drain(self) -> None:
-        """Flush open batches and wait until every queued epoch ran."""
+        """Flush open batches and wait until every queued epoch ran.
+
+        In resilient mode this also *forces the retry backlog empty*:
+        deferred work is executed immediately at its due stamp (virtual
+        time jumps — no real sleeping), breaker cooldowns are fast-
+        forwarded, and every request resolves one way or the other
+        before drain returns.  Attempts are bounded, so this
+        terminates.
+        """
         self._check_running()
         flushed = 0
         for lane in self._lanes:
             if self._flush_lane(lane, CLOSE_DRAIN):
                 flushed += 1
         await asyncio.gather(*(lane.queue.join() for lane in self._lanes))
+        if self.resilience is not None:
+            while any(lane.backlog for lane in self._lanes):
+                for lane in self._lanes:
+                    if lane.backlog:
+                        lane.queue.put_nowait(_DRAIN_FLUSH)
+                await asyncio.gather(
+                    *(lane.queue.join() for lane in self._lanes)
+                )
         self._emit("serve.drain", flushed=flushed)
 
     async def aclose(self) -> None:
@@ -259,6 +369,9 @@ class RenamingService:
         for lane in self._lanes:
             if lane.timer is not None:
                 lane.timer.cancel()
+            if lane.retry_timer is not None:
+                lane.retry_timer.cancel()
+                lane.retry_timer = None
             lane.task.cancel()
         await asyncio.gather(*(lane.task for lane in self._lanes),
                              return_exceptions=True)
@@ -296,11 +409,13 @@ class RenamingService:
             )
         lane = self._lanes[shard_of(uid, self.shards)]
         future = self._loop.create_future()
-        op = ShardOp(self._submitted, kind, uid, handle=future)
-        self._submitted += 1
         live = arrival is None
         if live:
             arrival = self._loop.time()
+            lane.live = True
+        op = ShardOp(self._submitted, kind, uid, handle=future,
+                     arrival=arrival)
+        self._submitted += 1
         for batch in lane.batcher.offer(op, arrival):
             self._dispatch(lane, batch)
         if live:
@@ -392,16 +507,44 @@ class RenamingService:
 
     async def _run_lane(self, lane: _Lane) -> None:
         while True:
-            batch = await lane.queue.get()
+            item = await lane.queue.get()
             try:
-                await self._execute_batch(lane, batch)
+                if item is _RETRY_WAKE:
+                    await self._process_backlog(lane, self._loop.time())
+                    self._arm_retry_timer(lane)
+                elif item is _DRAIN_FLUSH:
+                    await self._process_backlog(lane, None, force=True)
+                else:
+                    await self._execute_batch(lane, item)
             finally:
                 lane.queue.task_done()
 
     async def _execute_batch(self, lane: _Lane, batch: Batch) -> None:
+        if self.resilience is None:
+            await self._execute_batch_simple(lane, batch)
+            return
+        now = self._loop.time() if lane.live else batch.last_arrival
+        lane.vclock = max(lane.vclock, now)
+        await self._process_backlog(lane, now)
+        state = self._poll_breaker(lane, now)
+        if state == BREAKER_OPEN:
+            # The shard is quarantined: defer the whole batch to the
+            # probe time (its ops have consumed no attempt yet).
+            self._defer_or_shed(lane, batch.ops, batch.index, 0, now)
+        else:
+            await self._attempt(lane, list(batch.ops), now,
+                                origin=batch.index, attempt=0,
+                                probe=state == BREAKER_HALF_OPEN)
+        self._arm_retry_timer(lane)
+
+    async def _execute_batch_simple(self, lane: _Lane,
+                                    batch: Batch) -> None:
+        """The pre-resilience path (``resilience=None``): one attempt,
+        fail the whole batch on error.  Byte-identical epoch seeds and
+        counted results to PR 6 — the A/B baseline."""
         epoch = lane.shard.directory.epoch + 1
         self._emit("serve.epoch.begin", shard=lane.index, epoch=epoch,
-                   ops=len(batch))
+                   ops=len(batch), attempt=0)
         started = time.perf_counter()
         try:
             outcome = await self._loop.run_in_executor(
@@ -409,21 +552,156 @@ class RenamingService:
             )
         except Exception as error:
             wall = time.perf_counter() - started
-            lane.failures += 1
-            self.failed_epochs += 1
-            self.profiler.add(f"shard{lane.index}:failed_epoch", wall)
-            self._emit("serve.epoch.failed", shard=lane.index, epoch=epoch,
-                       error=f"{type(error).__name__}: {error}"[:200],
-                       wall_s=round(wall, 6))
-            self._emit("serve.shard.degraded", shard=lane.index,
-                       failures=lane.failures)
-            failure = ShardDegraded(lane.index, epoch, error)
+            kind = classify_failure(error, lane.shard.last_fault_issued)
+            self._record_epoch_failure(lane, epoch, error, kind, 0, wall)
+            failure = ShardDegraded(lane.index, epoch, error, kind)
             for op in batch.ops:
                 if not op.handle.done():
                     op.handle.set_exception(failure)
             return
         wall = time.perf_counter() - started
-        for op in batch.ops:
+        self._resolve_success(lane, batch.ops, outcome, wall)
+
+    # -- resilient execution (deadlines, retries, breaker) --------------
+
+    async def _process_backlog(self, lane: _Lane, now: Optional[float],
+                               force: bool = False) -> None:
+        """Execute deferred entries that are due by ``now``.
+
+        ``force`` (drain) ignores ``now`` and fast-forwards the lane's
+        virtual clock over backoff delays and breaker cooldowns until
+        the backlog is empty — attempts are bounded, so every entry
+        either resolves or exhausts its retries.
+        """
+        while lane.backlog:
+            entry = lane.backlog.peek()
+            if not force and entry.due > now:
+                break
+            vnow = max(entry.due, lane.vclock)
+            state = self._poll_breaker(lane, vnow)
+            if state == BREAKER_OPEN:
+                if force:
+                    # Fast-forward the cooldown; the entry becomes the
+                    # half-open probe.
+                    vnow = max(vnow, lane.breaker.probe_at)
+                    state = self._poll_breaker(lane, vnow)
+                else:
+                    # Due but quarantined: push to the probe time.
+                    lane.backlog.pop()
+                    self._defer_or_shed(lane, entry.ops, entry.origin,
+                                        entry.attempt, vnow)
+                    continue
+            lane.backlog.pop()
+            lane.vclock = vnow
+            await self._attempt(lane, list(entry.ops), vnow,
+                                origin=entry.origin, attempt=entry.attempt,
+                                probe=state == BREAKER_HALF_OPEN)
+
+    async def _attempt(self, lane: _Lane, ops: list, vnow: float, *,
+                       origin: int, attempt: int, probe: bool) -> None:
+        """One protocol execution over ``ops`` at time ``vnow``.
+
+        ``attempt`` counts executions these ops already consumed (the
+        retry salt); ``probe`` marks a half-open breaker's trial epoch.
+        """
+        policy = self.resilience
+        if policy.deadline is not None:
+            ops = self._expire_deadlines(lane, ops, vnow, attempt)
+        if not ops:
+            return
+        epoch = lane.shard.directory.epoch + 1
+        self._emit("serve.epoch.begin", shard=lane.index, epoch=epoch,
+                   ops=len(ops), attempt=attempt)
+        started = time.perf_counter()
+        try:
+            outcome = await self._loop.run_in_executor(
+                self._executor, lane.shard.execute, ops, attempt,
+            )
+        except Exception as error:
+            wall = time.perf_counter() - started
+            kind = classify_failure(error, lane.shard.last_fault_issued)
+            self._record_epoch_failure(lane, epoch, error, kind, attempt,
+                                       wall)
+            if lane.breaker.record_failure(vnow):
+                self._emit("serve.breaker.open", shard=lane.index,
+                           failures=lane.breaker.consecutive)
+            next_attempt = attempt + 1
+            if next_attempt > policy.max_retries:
+                failure = ShardDegraded(lane.index, epoch, error, kind)
+                for op in ops:
+                    if not op.handle.done():
+                        op.handle.set_exception(failure)
+                return
+            delay = retry_delay(policy, self.seed, lane.index, origin,
+                                next_attempt)
+            due = vnow + delay
+            if lane.breaker.state == BREAKER_OPEN:
+                due = max(due, lane.breaker.probe_at)
+            lane.backlog.push(ops, due, next_attempt, origin)
+            lane.retries += 1
+            self._emit("serve.retry", shard=lane.index, batch=origin,
+                       attempt=next_attempt, ops=len(ops),
+                       delay_s=round(delay, 9))
+            return
+        wall = time.perf_counter() - started
+        if outcome.ran and lane.breaker.record_success() and probe:
+            self._emit("serve.breaker.close", shard=lane.index)
+        self._resolve_success(lane, ops, outcome, wall)
+
+    def _expire_deadlines(self, lane: _Lane, ops: list, vnow: float,
+                          attempt: int) -> list:
+        deadline = self.resilience.deadline
+        expired = [op for op in ops if vnow > op.arrival + deadline]
+        if not expired:
+            return ops
+        lane.deadline_expired += len(expired)
+        for op in expired:
+            if not op.handle.done():
+                op.handle.set_exception(
+                    DeadlineExceeded(op.uid, lane.index, deadline)
+                )
+        self._emit("serve.deadline", shard=lane.index,
+                   expired=len(expired), attempt=attempt)
+        dead = {id(op) for op in expired}
+        return [op for op in ops if id(op) not in dead]
+
+    def _defer_or_shed(self, lane: _Lane, ops: Sequence, origin: int,
+                       attempt: int, now: float) -> None:
+        """Queue ops for the breaker's probe time, shedding overflow."""
+        policy = self.resilience
+        room = policy.shed_capacity - lane.backlog.ops_count
+        keep = list(ops[:max(0, room)])
+        drop = list(ops[len(keep):])
+        if keep:
+            due = max(lane.breaker.probe_at, now)
+            lane.backlog.push(keep, due, attempt, origin)
+        if drop:
+            depth = lane.backlog.ops_count
+            lane.shed += len(drop)
+            for op in drop:
+                if not op.handle.done():
+                    op.handle.set_exception(RequestShed(lane.index, depth))
+            self._emit("serve.shed", shard=lane.index, ops=len(drop),
+                       depth=depth)
+
+    def _record_epoch_failure(self, lane: _Lane, epoch: int,
+                              error: BaseException, kind: str,
+                              attempt: int, wall: float) -> None:
+        lane.failures += 1
+        self.failed_epochs += 1
+        self.profiler.add(f"shard{lane.index}:failed_epoch", wall)
+        # "failure", not "kind": the event envelope reserves ``kind``
+        # for the event name itself.
+        self._emit("serve.epoch.failed", shard=lane.index, epoch=epoch,
+                   failure=kind, attempt=attempt,
+                   error=f"{type(error).__name__}: {error}"[:200],
+                   wall_s=round(wall, 6))
+        self._emit("serve.shard.degraded", shard=lane.index,
+                   failures=lane.failures, failure=kind)
+
+    def _resolve_success(self, lane: _Lane, ops: Sequence, outcome,
+                         wall: float) -> None:
+        for op in ops:
             future = op.handle
             if future.done():
                 continue
@@ -438,8 +716,7 @@ class RenamingService:
         if not outcome.ran:
             self.empty_batches += 1
             self.profiler.add(f"shard{lane.index}:empty_batch", wall)
-            self._emit("serve.epoch.empty", shard=lane.index,
-                       ops=len(batch))
+            self._emit("serve.epoch.empty", shard=lane.index, ops=len(ops))
             return
         self.epochs += 1
         self.profiler.add(f"shard{lane.index}:epoch", wall)
@@ -451,6 +728,31 @@ class RenamingService:
             rounds=report.rounds, messages=report.messages,
             bits=report.bits, wall_s=round(wall, 6),
         )
+
+    def _poll_breaker(self, lane: _Lane, now: float) -> str:
+        before = lane.breaker.state
+        state = lane.breaker.poll(now)
+        if state == BREAKER_HALF_OPEN and before == BREAKER_OPEN:
+            self._emit("serve.breaker.half_open", shard=lane.index)
+        return state
+
+    def _arm_retry_timer(self, lane: _Lane) -> None:
+        """Live mode: wake the lane when its earliest retry comes due."""
+        if not lane.live or not lane.backlog or self._closed:
+            return
+        due = lane.backlog.earliest_due()
+        if lane.retry_timer is not None:
+            lane.retry_timer.cancel()
+        delay = max(0.0, due - self._loop.time())
+        lane.retry_timer = self._loop.call_later(
+            delay, self._retry_wake, lane,
+        )
+
+    def _retry_wake(self, lane: _Lane) -> None:
+        lane.retry_timer = None
+        if self._closed:
+            return
+        lane.queue.put_nowait(_RETRY_WAKE)
 
     # -- introspection --------------------------------------------------
 
@@ -481,31 +783,54 @@ class RenamingService:
                 totals["rounds"] += report.rounds
                 totals["messages"] += report.messages
                 totals["bits"] += report.bits
-        return {
+        stats = {
             "shards": self.shards,
             "requests": self._submitted,
             "batches": self.batches,
             "epochs": self.epochs,
             "empty_batches": self.empty_batches,
             "failed_epochs": self.failed_epochs,
+            "failures": sum(lane.failures for lane in self._lanes),
+            "retries": sum(lane.retries for lane in self._lanes),
+            "shed": sum(lane.shed for lane in self._lanes),
+            "deadline_expired": sum(lane.deadline_expired
+                                    for lane in self._lanes),
             "members": sum(len(lane.shard.directory.members)
                            for lane in self._lanes),
             **totals,
         }
+        if self.resilience is not None:
+            stats["breaker_opens"] = sum(lane.breaker.opens
+                                         for lane in self._lanes)
+            stats["breaker_closes"] = sum(lane.breaker.closes
+                                          for lane in self._lanes)
+            stats["breakers_open"] = sum(
+                1 for lane in self._lanes
+                if lane.breaker.state != "closed"
+            )
+        return stats
 
     def per_shard_stats(self) -> list[dict]:
         rows = []
         for lane in self._lanes:
             directory = lane.shard.directory
-            rows.append({
+            row = {
                 "shard": lane.index,
                 "members": len(directory.members),
                 "epochs": directory.epoch,
+                "attempts": lane.shard.attempts,
                 "batches": lane.batcher.closed,
                 "failures": lane.failures,
+                "retries": lane.retries,
+                "shed": lane.shed,
+                "deadline_expired": lane.deadline_expired,
                 "messages": sum(r.messages for r in directory.history),
                 "bits": sum(r.bits for r in directory.history),
-            })
+            }
+            if lane.breaker is not None:
+                row["breaker"] = lane.breaker.stats()
+                row["backlog"] = lane.backlog.ops_count
+            rows.append(row)
         return rows
 
     def phase_report(self) -> dict:
@@ -530,6 +855,6 @@ class RenamingService:
 
     # -- events ---------------------------------------------------------
 
-    def _emit(self, kind: str, **data) -> None:
+    def _emit(self, event_kind: str, **data) -> None:
         if observing(self.observer):
-            self.observer.emit(kind, **data)
+            self.observer.emit(event_kind, **data)

@@ -28,6 +28,7 @@ from typing import Callable, Mapping, Optional, Sequence
 
 from repro.apps.overlay_directory import EpochReport, OverlayDirectory
 from repro.core.crash_renaming import CrashRenamingConfig
+from repro.faults.degradation import FaultTap
 from repro.faults.spec import FaultSpec, build_fault_model, normalize_spec
 
 #: Knuth's multiplicative constant; any odd 32-bit constant with good
@@ -66,6 +67,24 @@ def split_compact(global_id: int, shards: int) -> tuple[int, int]:
 def shard_seed(seed: int, shard: int) -> int:
     """Per-shard protocol seed: independent shards, replayable whole."""
     return hash((seed, shard)) & 0x7FFFFFFF
+
+
+def _check_window(window) -> Optional[tuple[int, int]]:
+    """Validate a ``(start, stop)`` attempt window (1-based, half-open)."""
+    if window is None:
+        return None
+    try:
+        start, stop = window
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"fault_window must be a (start, stop) pair, got {window!r}"
+        ) from None
+    start, stop = int(start), int(stop)
+    if start < 1 or stop < start:
+        raise ValueError(
+            f"fault_window needs 1 <= start <= stop, got ({start}, {stop})"
+        )
+    return (start, stop)
 
 
 def net_delta(
@@ -119,12 +138,17 @@ class ShardOp:
     ``index`` is the request's global trace/submission index (used only
     for reporting); ``handle`` is an opaque slot the service uses to
     carry the asyncio future — the sharding layer never touches it.
+    ``arrival`` is the request's arrival stamp (virtual or loop time);
+    the resilience layer measures per-request deadlines from it.  Both
+    are excluded from equality so counted-result comparisons see only
+    ``(index, kind, uid)``.
     """
 
     index: int
     kind: str
     uid: int
     handle: object = field(default=None, compare=False, repr=False)
+    arrival: float = field(default=0.0, compare=False)
 
 
 @dataclass(frozen=True)
@@ -160,6 +184,14 @@ class Shard:
     (round-level events); leave it ``None`` when shards run on
     concurrent threads and the recorder is not thread-safe — the
     service keeps its own serve-level events on the event loop.
+
+    ``fault_window`` bounds the injection to a half-open interval of
+    *protocol execution attempts* ``[start, stop)``, 1-based — the
+    chaos harness uses it to model a transient outage.  Attempts, not
+    epochs: a failed execution rolls back and leaves ``directory.epoch``
+    unchanged, so windows keyed on the epoch number would never close
+    under total fault.  ``None`` injects into every execution (PR 5/6
+    behaviour).
     """
 
     def __init__(
@@ -171,6 +203,7 @@ class Shard:
         seed: int = 0,
         config: Optional[CrashRenamingConfig] = None,
         fault_spec: FaultSpec = None,
+        fault_window: Optional[tuple[int, int]] = None,
         adversary_factory: Optional[ShardAdversaryFactory] = None,
         observer: Optional[object] = None,
     ):
@@ -178,11 +211,18 @@ class Shard:
         self.shards = shards
         self.seed = shard_seed(seed, index)
         self.fault_spec = normalize_spec(fault_spec)
+        self.fault_window = _check_window(fault_window)
         self.adversary_factory = adversary_factory
         self.observer = observer
         self.directory = OverlayDirectory(
             namespace, config=config, seed=self.seed,
         )
+        #: Protocol executions tried so far (failed ones included).
+        self.attempts = 0
+        #: Fault verdicts issued during the most recent execution
+        #: (a ``FaultTap.issued`` snapshot) — empty when no fault model
+        #: was active or the channel never lied.
+        self.last_fault_issued: dict[str, int] = {}
 
     def owns(self, uid: int) -> bool:
         return shard_of(uid, self.shards) == self.index
@@ -210,7 +250,7 @@ class Shard:
 
     # -- epochs (one at a time, off the event loop) --------------------
 
-    def execute(self, ops: Sequence[ShardOp]) -> EpochOutcome:
+    def execute(self, ops: Sequence[ShardOp], salt: int = 0) -> EpochOutcome:
         """Apply one batch: net membership delta, then one epoch.
 
         Blocking; the service calls it via ``run_in_executor`` and
@@ -218,6 +258,13 @@ class Shard:
         membership delta is rolled back and the exception propagates —
         the directory is left exactly as before the batch, so the
         service can fail these requests and keep serving.
+
+        ``salt`` distinguishes retries: a rolled-back epoch leaves
+        ``directory.epoch`` unchanged, so re-executing with ``salt=0``
+        would rebuild the identical protocol seed and fault model and
+        fail identically forever.  The resilience layer passes the
+        attempt number; ``salt=0`` reproduces the pre-resilience seeds
+        byte-for-byte (the A/B contract).
         """
         directory = self.directory
         joins, leaves = net_delta(directory.members, ops)
@@ -231,29 +278,46 @@ class Shard:
             directory.withdraw_assignment()
             return EpochOutcome(self.index, directory.epoch, None, {})
         epoch = directory.epoch + 1
-        fault_model = None
-        if self.fault_spec:
-            fault_model = build_fault_model(
-                self.fault_spec, len(directory.members),
-                seed=hash((self.seed, epoch)) & 0x7FFFFFFF,
-            )
+        self.attempts += 1
+        self.last_fault_issued = {}
+        tap: Optional[FaultTap] = None
+        if self.fault_spec and self._faults_active(self.attempts):
+            if salt:
+                fault_seed = hash((self.seed, epoch, salt)) & 0x7FFFFFFF
+            else:
+                fault_seed = hash((self.seed, epoch)) & 0x7FFFFFFF
+            tap = FaultTap(build_fault_model(
+                self.fault_spec, len(directory.members), seed=fault_seed,
+            ))
         adversary = (self.adversary_factory(self.index, epoch)
                      if self.adversary_factory is not None else None)
         try:
             report = directory.run_epoch(
-                adversary, fault_model=fault_model, observer=self.observer,
+                adversary, fault_model=tap, observer=self.observer,
+                seed_salt=salt,
             )
         except Exception:
             # run_epoch installs atomically, so only the join/leave
             # delta needs undoing.
+            if tap is not None:
+                self.last_fault_issued = dict(tap.issued)
             for uid in joins:
                 directory.leave(uid)
             for uid in leaves:
                 directory.join(uid)
             raise
+        if tap is not None:
+            self.last_fault_issued = dict(tap.issued)
         return EpochOutcome(
             self.index, report.epoch, report, report.assignment,
         )
+
+    def _faults_active(self, attempt: int) -> bool:
+        """Whether the fault window covers this (1-based) attempt."""
+        if self.fault_window is None:
+            return True
+        start, stop = self.fault_window
+        return start <= attempt < stop
 
     def resolve(self, outcome: EpochOutcome, op: ShardOp) -> Optional[int]:
         """The response value for ``op`` after its batch's epoch.

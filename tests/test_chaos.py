@@ -1,0 +1,173 @@
+"""The serve-level chaos frontier: classification, ladder, benchmark."""
+
+import json
+
+from repro.faults.degradation import (
+    CRASHED,
+    OUTCOMES,
+    SAFE_STALLED,
+    SAFE_TERMINATED,
+    SAFETY_VIOLATED,
+    outcome_rank,
+)
+from repro.serve.chaos import (
+    DEFAULT_CHAOS_RESILIENCE,
+    SCENARIO_BASELINE,
+    SCENARIO_RESILIENT,
+    ChaosRung,
+    classify_serve_run,
+    default_chaos_ladder,
+    format_frontier,
+    goodput,
+    run_chaos,
+    run_rung,
+)
+from repro.serve.loadgen import LoadProfile
+
+#: Small enough to keep the whole ladder in CI seconds, rich enough
+#: that the faulted shard sees several epochs inside the window.
+PROFILE = LoadProfile(clients=40, requests=1_200, shards=2, max_batch=16,
+                      max_wait=0.002, arrival_rate=20_000.0,
+                      namespace=5_000, seed=3)
+
+
+def report_stub(**overrides):
+    report = {
+        "unique": True, "unresolved": 0, "degraded": 0, "shed": 0,
+        "deadline_expired": 0, "errors": 0, "renames": 100,
+        "rename_misses": 10, "renamed": 90,
+    }
+    report.update(overrides)
+    return report
+
+
+class TestClassifyServeRun:
+    def test_clean_run_is_safe_terminated(self):
+        assert classify_serve_run(report_stub()) == (SAFE_TERMINATED, {})
+
+    def test_failed_requests_are_safe_stalled(self):
+        outcome, detail = classify_serve_run(report_stub(degraded=3, shed=1))
+        assert outcome == SAFE_STALLED
+        assert detail["degraded"] == 3 and detail["shed"] == 1
+
+    def test_duplicate_names_dominate_everything(self):
+        outcome, detail = classify_serve_run(
+            report_stub(unique=False, unresolved=5, degraded=3))
+        assert outcome == SAFETY_VIOLATED
+        assert detail == {"invariant": "unique-names"}
+
+    def test_unresolved_futures_are_crashed(self):
+        outcome, detail = classify_serve_run(report_stub(unresolved=2))
+        assert outcome == CRASHED
+        assert detail["unresolved"] == 2
+
+    def test_goodput_ignores_legitimate_misses(self):
+        assert goodput(report_stub()) == 1.0
+        assert goodput(report_stub(renamed=45)) == 0.5
+
+    def test_outcome_rank_orders_the_vocabulary(self):
+        ranks = [outcome_rank(outcome) for outcome in OUTCOMES]
+        assert ranks == sorted(ranks)
+        assert outcome_rank(SAFE_TERMINATED) < outcome_rank(SAFETY_VIOLATED)
+
+
+class TestLadder:
+    def test_full_ladder_shape(self):
+        ladder = default_chaos_ladder()
+        labels = [rung.label for rung in ladder]
+        assert labels[0] == "none"
+        assert len(labels) == len(set(labels))
+        windowed = [rung for rung in ladder if rung.window is not None]
+        persistent = [rung for rung in ladder
+                      if rung.window is None and rung.spec]
+        assert windowed and persistent
+
+    def test_quick_ladder_is_a_subset(self):
+        full = {rung.label for rung in default_chaos_ladder()}
+        quick = default_chaos_ladder(quick=True)
+        assert {rung.label for rung in quick} <= full
+        assert quick[0].label == "none"
+        assert len(quick) < len(full)
+
+    def test_rung_spec_json_round_trips(self):
+        rung = ChaosRung("x", ({"kind": "omission", "p": 0.5},), (1, 4))
+        decoded = json.loads(rung.spec_json)
+        assert decoded[0]["kind"] == "omission"
+
+
+class TestRunRung:
+    def test_control_rung_both_arms(self):
+        control = default_chaos_ladder(quick=True)[0]
+        for resilience in (DEFAULT_CHAOS_RESILIENCE, None):
+            row = run_rung(PROFILE, control, resilience=resilience)
+            assert row["outcome"] == SAFE_TERMINATED
+            assert row["goodput"] == 1.0
+            assert row["unique"] is True
+
+    def test_windowed_outage_resilient_beats_baseline(self):
+        rung = ChaosRung("omission-100%-window",
+                         ({"kind": "omission", "p": 1.0},), (1, 9))
+        resilient = run_rung(PROFILE, rung,
+                             resilience=DEFAULT_CHAOS_RESILIENCE)
+        baseline = run_rung(PROFILE, rung, resilience=None)
+        assert resilient["scenario"] == SCENARIO_RESILIENT
+        assert baseline["scenario"] == SCENARIO_BASELINE
+        assert resilient["outcome"] == SAFE_TERMINATED
+        assert resilient["goodput"] >= 0.95
+        assert resilient["breaker_state"] == "closed"
+        assert baseline["outcome"] == SAFE_STALLED
+        assert baseline["goodput"] < resilient["goodput"]
+        assert baseline["retries"] == 0
+        # Same seeded trace on both arms.
+        assert resilient["trace_sha256"] == baseline["trace_sha256"]
+
+    def test_rows_are_reproducible(self):
+        rung = ChaosRung("omission-50%-window",
+                         ({"kind": "omission", "p": 0.5},), (1, 9))
+        rows = [run_rung(PROFILE, rung,
+                         resilience=DEFAULT_CHAOS_RESILIENCE)
+                for _ in range(2)]
+        assert rows[0] == rows[1]
+
+
+class TestRunChaos:
+    def test_quick_frontier_rows_and_summary(self):
+        frontier = run_chaos(PROFILE,
+                             ladder=default_chaos_ladder(quick=True))
+        rows = frontier["rows"]
+        assert len(rows) == 2 * len(default_chaos_ladder(quick=True))
+        scenarios = {row["scenario"] for row in rows}
+        assert scenarios == {SCENARIO_RESILIENT, SCENARIO_BASELINE}
+        for row in rows:
+            assert row["outcome"] in OUTCOMES
+            assert row["unique"] is True
+        summary = {entry["scenario"]: entry for entry in frontier["summary"]}
+        assert set(summary) == scenarios
+        table = format_frontier(rows)
+        assert "omission-100%-persistent" in table
+        assert SCENARIO_RESILIENT in table
+
+
+class TestBenchmarkChecks:
+    def test_check_frontier_flags_regressions(self):
+        from benchmarks.chaos import check_frontier
+
+        good = [
+            {"rung": "none", "scenario": SCENARIO_RESILIENT,
+             "outcome": SAFE_TERMINATED, "goodput": 1.0, "unique": True,
+             "unresolved": 0, "breaker_state": "closed"},
+            {"rung": "omission-100%-window", "scenario": SCENARIO_RESILIENT,
+             "outcome": SAFE_TERMINATED, "goodput": 1.0, "unique": True,
+             "unresolved": 0, "breaker_state": "closed"},
+        ]
+        assert check_frontier(good) == []
+        bad = [dict(row) for row in good]
+        bad[0]["outcome"] = SAFE_STALLED
+        bad[1]["goodput"] = 0.5
+        bad[1]["breaker_state"] = "open"
+        bad[1]["unique"] = False
+        problems = check_frontier(bad)
+        assert any("control" in p for p in problems)
+        assert any("goodput" in p for p in problems)
+        assert any("breaker" in p for p in problems)
+        assert any("unique" in p for p in problems)

@@ -64,12 +64,63 @@ report("byzantine", run_byzantine_renaming(
 """
 
 
-def _run(hashseed):
+#: Plays a faulted load trace through the *resilient* service — seeded
+#: retries, breaker transitions, shedding — and prints the counted
+#: results plus the per-shard retry/breaker event schedule.  Backoff
+#: jitter and per-epoch protocol seeds must come from integer-tuple
+#: hashing only, so the schedule is byte-identical across hash seeds.
+SERVE_SCRIPT = """
+import json
+
+from repro.obs import EventRecorder
+from repro.serve.loadgen import LoadProfile, execute_profile
+from repro.serve.resilience import ResiliencePolicy
+
+PROFILE = LoadProfile(clients=32, requests=900, shards=2, max_batch=16,
+                      max_wait=0.002, arrival_rate=20_000.0,
+                      namespace=4_000, seed=5)
+RESILIENCE = ResiliencePolicy(max_retries=4, backoff_base=0.005,
+                              breaker_threshold=3, breaker_cooldown=0.05)
+
+recorder = EventRecorder()
+report = execute_profile(
+    PROFILE,
+    shard_faults={0: [{"kind": "omission", "p": 1.0}]},
+    shard_fault_windows={0: (1, 7)},
+    resilience=RESILIENCE,
+    observer=recorder,
+)
+lanes = {}
+for event in recorder.events():
+    kind = event["kind"]
+    if not kind.startswith(("serve.retry", "serve.breaker", "serve.shed",
+                            "serve.deadline")):
+        continue
+    data = dict(event.get("data", {}))
+    lanes.setdefault(data.pop("shard"), []).append([kind, data])
+print(json.dumps({
+    "trace": report["trace_sha256"],
+    "renamed": report["renamed"],
+    "degraded": report["degraded"],
+    "shed": report["shed"],
+    "unresolved": report["unresolved"],
+    "unique": report["unique"],
+    "retries": report["service"]["retries"],
+    "breaker_opens": report["service"]["breaker_opens"],
+    "breaker_closes": report["service"]["breaker_closes"],
+    "epoch_messages": report["epoch_messages"],
+    "epoch_bits": report["epoch_bits"],
+    "lanes": {str(shard): lanes[shard] for shard in sorted(lanes)},
+}, sort_keys=True))
+"""
+
+
+def _run(hashseed, script=SCRIPT):
     env = dict(os.environ)
     env["PYTHONHASHSEED"] = str(hashseed)
     env["PYTHONPATH"] = str(REPO / "src")
     proc = subprocess.run(
-        [sys.executable, "-c", SCRIPT],
+        [sys.executable, "-c", script],
         capture_output=True, env=env, cwd=REPO, timeout=300,
     )
     assert proc.returncode == 0, proc.stderr.decode()
@@ -93,3 +144,17 @@ def test_all_entry_points_hashseed_independent():
     # The lossy channel genuinely fired on the gossip run.
     gossip_faults = by_name["gossip"]["faults"]
     assert gossip_faults["dropped"] > 0 and gossip_faults["held"] > 0
+
+
+def test_resilient_serving_hashseed_independent():
+    first = _run(1, SERVE_SCRIPT)
+    second = _run(2, SERVE_SCRIPT)
+    assert first == second  # byte-identical retry/breaker schedule
+
+    row = json.loads(first.decode())
+    assert row["unique"] is True
+    assert row["unresolved"] == 0
+    # The faulted window genuinely exercised the resilient path.
+    assert row["retries"] > 0
+    assert row["breaker_opens"] >= 1
+    assert any(entry[0] == "serve.retry" for entry in row["lanes"]["0"])

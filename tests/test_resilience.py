@@ -1,0 +1,179 @@
+"""Unit tests for the resilience primitives (no service, no loop)."""
+
+import pytest
+
+from repro.core.crash_renaming import RenamingFailure
+from repro.serve.resilience import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    FAIL_ERROR,
+    FAIL_FAULTS,
+    FAIL_NON_TERMINATION,
+    FAIL_RENAME,
+    CircuitBreaker,
+    ResiliencePolicy,
+    RetryBacklog,
+    classify_failure,
+    retry_delay,
+)
+from repro.sim.network import NonTerminationError
+
+
+class TestResiliencePolicy:
+    def test_defaults_are_valid(self):
+        policy = ResiliencePolicy()
+        assert policy.max_retries == 3
+        assert policy.deadline is None
+
+    @pytest.mark.parametrize("field,value", [
+        ("max_retries", -1),
+        ("backoff_base", -0.1),
+        ("backoff_factor", 0.5),
+        ("backoff_jitter", -1.0),
+        ("deadline", 0.0),
+        ("deadline", -1.0),
+        ("breaker_threshold", 0),
+        ("breaker_cooldown", -0.01),
+        ("shed_capacity", -1),
+    ])
+    def test_rejects_bad_fields(self, field, value):
+        with pytest.raises(ValueError, match=field):
+            ResiliencePolicy(**{field: value})
+
+    def test_from_spec_none_and_empty(self):
+        assert ResiliencePolicy.from_spec(None) is None
+        assert ResiliencePolicy.from_spec("") is None
+        assert ResiliencePolicy.from_spec("  ") is None
+        # Empty object = all defaults, resilience *on*.
+        assert ResiliencePolicy.from_spec("{}") == ResiliencePolicy()
+        assert ResiliencePolicy.from_spec({}) == ResiliencePolicy()
+
+    def test_from_spec_passthrough_and_json(self):
+        policy = ResiliencePolicy(max_retries=7)
+        assert ResiliencePolicy.from_spec(policy) is policy
+        assert ResiliencePolicy.from_spec(
+            '{"max_retries": 7}') == policy
+        assert ResiliencePolicy.from_spec(
+            {"max_retries": 7}) == policy
+
+    def test_from_spec_rejects_garbage(self):
+        with pytest.raises(ValueError, match="not JSON"):
+            ResiliencePolicy.from_spec("{nope")
+        with pytest.raises(ValueError, match="object"):
+            ResiliencePolicy.from_spec("[1, 2]")
+        with pytest.raises(ValueError, match="unknown"):
+            ResiliencePolicy.from_spec('{"retriez": 3}')
+
+    def test_to_json_round_trips(self):
+        policy = ResiliencePolicy(max_retries=1, breaker_cooldown=0.5)
+        assert ResiliencePolicy.from_spec(policy.to_json()) == policy
+
+    def test_scaled(self):
+        policy = ResiliencePolicy().scaled(max_retries=9)
+        assert policy.max_retries == 9
+        assert policy.breaker_threshold == 5
+
+
+class TestRetryDelay:
+    POLICY = ResiliencePolicy(backoff_base=0.01, backoff_factor=2.0,
+                              backoff_jitter=0.5)
+
+    def test_deterministic(self):
+        first = retry_delay(self.POLICY, 3, 1, 17, 2)
+        second = retry_delay(self.POLICY, 3, 1, 17, 2)
+        assert first == second
+
+    def test_keyed_on_all_coordinates(self):
+        base = retry_delay(self.POLICY, 3, 1, 17, 2)
+        assert retry_delay(self.POLICY, 4, 1, 17, 2) != base   # seed
+        assert retry_delay(self.POLICY, 3, 2, 17, 2) != base   # shard
+        assert retry_delay(self.POLICY, 3, 1, 18, 2) != base   # origin
+
+    def test_exponential_envelope(self):
+        for attempt in (1, 2, 3, 4):
+            delay = retry_delay(self.POLICY, 0, 0, 0, attempt)
+            floor = 0.01 * 2.0 ** (attempt - 1)
+            assert floor <= delay < floor * 1.5
+
+    def test_zero_jitter_is_pure_exponential(self):
+        policy = self.POLICY.scaled(backoff_jitter=0.0)
+        assert retry_delay(policy, 0, 0, 0, 3) == 0.04
+
+    def test_attempt_must_be_positive(self):
+        with pytest.raises(ValueError, match="attempt"):
+            retry_delay(self.POLICY, 0, 0, 0, 0)
+
+
+class TestCircuitBreaker:
+    def test_full_cycle(self):
+        breaker = CircuitBreaker(threshold=3, cooldown=1.0)
+        assert breaker.state == BREAKER_CLOSED
+        assert breaker.record_failure(10.0) is False
+        assert breaker.record_failure(11.0) is False
+        assert breaker.record_failure(12.0) is True    # third opens it
+        assert breaker.state == BREAKER_OPEN
+        assert breaker.probe_at == 13.0
+        assert breaker.poll(12.5) == BREAKER_OPEN      # cooldown pending
+        assert breaker.poll(13.0) == BREAKER_HALF_OPEN
+        assert breaker.record_success() is True        # probe closed it
+        assert breaker.state == BREAKER_CLOSED
+        assert breaker.stats() == {
+            "state": BREAKER_CLOSED, "consecutive_failures": 0,
+            "opens": 1, "closes": 1, "probes": 1,
+        }
+
+    def test_failed_probe_reopens_with_fresh_cooldown(self):
+        breaker = CircuitBreaker(threshold=1, cooldown=1.0)
+        breaker.record_failure(0.0)
+        breaker.poll(1.0)
+        assert breaker.state == BREAKER_HALF_OPEN
+        assert breaker.record_failure(5.0) is True
+        assert breaker.state == BREAKER_OPEN
+        assert breaker.probe_at == 6.0                 # restarted at 5.0
+        assert breaker.opens == 2
+
+    def test_success_resets_consecutive_run(self):
+        breaker = CircuitBreaker(threshold=3, cooldown=1.0)
+        breaker.record_failure(0.0)
+        breaker.record_failure(1.0)
+        assert breaker.record_success() is False       # was closed
+        breaker.record_failure(2.0)
+        breaker.record_failure(3.0)
+        assert breaker.state == BREAKER_CLOSED         # run restarted
+
+
+class TestRetryBacklog:
+    def test_ordered_by_due_then_push_order(self):
+        backlog = RetryBacklog()
+        backlog.push(("a",), due=2.0, attempt=1, origin=0)
+        backlog.push(("b",), due=1.0, attempt=1, origin=1)
+        backlog.push(("c",), due=1.0, attempt=1, origin=2)
+        drained = []
+        while backlog:
+            drained.append(backlog.pop().ops[0])
+        assert drained == ["b", "c", "a"]
+
+    def test_counts_and_earliest(self):
+        backlog = RetryBacklog()
+        assert backlog.earliest_due() is None
+        assert backlog.ops_count == 0
+        backlog.push(("a", "b"), due=3.0, attempt=0, origin=0)
+        backlog.push(("c",), due=1.0, attempt=2, origin=0)
+        assert len(backlog) == 2
+        assert backlog.ops_count == 3
+        assert backlog.earliest_due() == 1.0
+        assert backlog.peek().attempt == 2
+
+
+class TestClassifyFailure:
+    def test_fault_pressure_dominates(self):
+        error = NonTerminationError("stalled")
+        assert classify_failure(error, {"dropped": 3}) == FAIL_FAULTS
+
+    def test_exception_taxonomy_without_faults(self):
+        assert classify_failure(
+            NonTerminationError("stalled"), {}) == FAIL_NON_TERMINATION
+        assert classify_failure(
+            RenamingFailure("no name"), {}) == FAIL_RENAME
+        assert classify_failure(RuntimeError("bug"), {}) == FAIL_ERROR
