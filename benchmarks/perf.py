@@ -23,14 +23,17 @@ dominate real workloads:
 
 Results are written to ``BENCH_perf.json`` mapping each benchmark name
 (``<workload>_n<N>``) to ``{wall_s, rounds, messages, msgs_per_s,
-phases}`` — the repo's perf trajectory.  ``phases`` is a
+phases}`` — the repo's perf trajectory.  ``msgs_per_s`` is rounded
+half-even (banker's rounding), not floor-truncated.  ``phases`` is a
 self-describing :mod:`repro.obs` phase-profile report (plan / charge /
 deliver / advance wall times) measured on one *extra* instrumented
 execution; the timed repetitions always run with observability
 detached, so the headline numbers measure the uninstrumented fast
-path.  The harness touches only the long-stable public simulator API,
-so it runs unmodified against older revisions for before/after
-comparisons (older revisions simply omit ``phases``).
+path.  Because the instrumented execution runs the per-envelope object
+path, it is skipped above ``PHASES_MAX_N`` nodes (large-n rows omit
+``phases``, exactly like older revisions of this harness).  The
+harness touches only the long-stable public simulator API, so it runs
+unmodified against older revisions for before/after comparisons.
 """
 
 from __future__ import annotations
@@ -49,8 +52,22 @@ from repro.sim.node import Context, Process, Program
 from repro.sim.runner import ExecutionResult, run_network
 
 #: n values of the full matrix and of the --quick CI smoke run.
-FULL_SIZES = (128, 256, 512)
+FULL_SIZES = (128, 256, 512, 10_000)
 QUICK_SIZES = (32, 64)
+
+#: Largest n for which the extra instrumented (object-path) execution
+#: that produces the ``phases`` breakdown is affordable.
+PHASES_MAX_N = 2048
+
+#: From this n on a single timing repetition is used regardless of
+#: ``--repeat``: one crash-workload execution at n = 10k already runs
+#: for minutes (crash-plan application is O(n) per victim), and the
+#: best-of-k spread the repeats exist to suppress is negligible at
+#: these wall times.
+SINGLE_REPEAT_MIN_N = 4096
+
+#: All workloads, in matrix order.
+WORKLOADS = ("broadcast", "crash")
 
 
 @dataclass(frozen=True)
@@ -111,32 +128,44 @@ def time_execution(
         "wall_s": round(best_wall, 4),
         "rounds": result.rounds,
         "messages": messages,
-        "msgs_per_s": int(messages / best_wall) if best_wall else 0,
+        # Half-even (banker's) rounding: int() floor-truncated here for
+        # a long time, biasing every recorded throughput slightly low.
+        "msgs_per_s": round(messages / best_wall) if best_wall else 0,
     }
 
 
 def run_perf(
     sizes: Sequence[int],
     repeat: int = 3,
+    workloads: Sequence[str] = WORKLOADS,
     progress: Callable[[str, dict], None] | None = None,
 ) -> dict[str, dict]:
     """Run the benchmark matrix; returns ``{name: stats}`` in run order."""
     from repro.obs import EventRecorder
 
+    runners = {
+        "broadcast": run_broadcast_heavy,
+        "crash": run_crash_heavy,
+    }
+    unknown = [w for w in workloads if w not in runners]
+    if unknown:
+        raise ValueError(f"unknown workloads {unknown}; pick from {WORKLOADS}")
+
     results: dict[str, dict] = {}
     for n in sizes:
-        for workload, fn in (
-            ("broadcast", lambda n=n, **kw: run_broadcast_heavy(n, **kw)),
-            ("crash", lambda n=n, **kw: run_crash_heavy(n, **kw)),
-        ):
+        for workload in workloads:
+            fn = lambda n=n, workload=workload, **kw: runners[workload](n, **kw)
             name = f"{workload}_n{n}"
-            stats = time_execution(fn, repeat)
-            # One extra instrumented execution for the phase breakdown;
-            # the timed repetitions above ran with observability
-            # detached so wall_s/msgs_per_s measure the fast path.
-            recorder = EventRecorder(capacity=4, profile=True)
-            fn(observer=recorder)
-            stats["phases"] = recorder.profiler.report()
+            stats = time_execution(fn, 1 if n >= SINGLE_REPEAT_MIN_N else repeat)
+            if n <= PHASES_MAX_N:
+                # One extra instrumented execution for the phase
+                # breakdown; the timed repetitions above ran with
+                # observability detached so wall_s/msgs_per_s measure
+                # the fast path.  Instrumentation forces the
+                # per-envelope object path, so large-n rows skip it.
+                recorder = EventRecorder(capacity=4, profile=True)
+                fn(observer=recorder)
+                stats["phases"] = recorder.profiler.report()
             results[name] = stats
             if progress is not None:
                 progress(name, stats)
@@ -152,7 +181,13 @@ def main(argv: Sequence[str] | None = None) -> int:
                         help="comma list of n values overriding the matrix")
     parser.add_argument("--repeat", type=int, default=None,
                         help="timing repeats per benchmark, best-of "
-                             "(default 3, or 1 with --quick)")
+                             "(default 3, or 1 with --quick; always 1 "
+                             f"for n >= {SINGLE_REPEAT_MIN_N})")
+    parser.add_argument("--workloads", default=None,
+                        help="comma list of workloads to run "
+                             f"(default all: {','.join(WORKLOADS)}); e.g. "
+                             "--workloads broadcast for very large n, "
+                             "where crash-plan application dominates")
     parser.add_argument("--out", default="BENCH_perf.json",
                         help="output JSON path (default BENCH_perf.json)")
     args = parser.parse_args(argv)
@@ -162,12 +197,18 @@ def main(argv: Sequence[str] | None = None) -> int:
     else:
         sizes = list(QUICK_SIZES if args.quick else FULL_SIZES)
     repeat = args.repeat if args.repeat is not None else (1 if args.quick else 3)
+    if args.workloads:
+        workloads = [part.strip() for part in args.workloads.split(",")
+                     if part.strip()]
+    else:
+        workloads = list(WORKLOADS)
 
     def progress(name: str, stats: dict) -> None:
         print(f"{name:>16}: {stats['messages']:>9} msgs in "
               f"{stats['wall_s']:7.3f}s  ({stats['msgs_per_s']:>8} msgs/s)")
 
-    results = run_perf(sizes, repeat=repeat, progress=progress)
+    results = run_perf(sizes, repeat=repeat, workloads=workloads,
+                       progress=progress)
     out = Path(args.out)
     out.write_text(json.dumps(results, indent=2) + "\n")
     print(f"wrote {out}")

@@ -452,6 +452,8 @@ def cmd_perf(args: argparse.Namespace) -> int:
         argv.extend(["--n", args.n])
     if args.repeat is not None:
         argv.extend(["--repeat", str(args.repeat)])
+    if args.workloads:
+        argv.extend(["--workloads", args.workloads])
     return perf.main(argv)
 
 
@@ -712,6 +714,9 @@ def build_parser() -> argparse.ArgumentParser:
                       help="timing repeats per benchmark, best-of")
     perf.add_argument("--out", default="BENCH_perf.json",
                       help="output JSON path (default BENCH_perf.json)")
+    perf.add_argument("--workloads", default=None,
+                      help="comma list of workloads (broadcast,crash); "
+                           "e.g. --workloads broadcast for very large n")
     perf.set_defaults(func=cmd_perf)
 
     serve = sub.add_parser(

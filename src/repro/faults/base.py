@@ -116,9 +116,20 @@ def hold(release_round: int) -> FaultVerdict:
 class FaultStats:
     """What the network actually applied, tallied per execution.
 
-    ``held`` counts envelopes buffered by partitions; ``released``
-    counts those later delivered (the difference is messages still in
-    flight when the execution ended, or whose receiver died first).
+    Every envelope a ``hold`` verdict buffered gets exactly one
+    terminal disposition, so ``held == released + released_to_dead +
+    in_flight()`` holds at every instant:
+
+    ``released``
+        Delivered to a still-alive receiver at its release round.
+    ``released_to_dead``
+        Reached its release round after the receiver crashed or
+        terminated — the envelope vanishes, the count does not.
+    ``expired``
+        Still buffered when the run ended (release round beyond the
+        last executed round); the run-end drain books each one here and
+        emits a ``fault.expire`` event, so after a completed run
+        ``in_flight() == expired``.
     """
 
     dropped: int = 0
@@ -126,6 +137,8 @@ class FaultStats:
     corrupted: int = 0
     held: int = 0
     released: int = 0
+    released_to_dead: int = 0
+    expired: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -134,7 +147,18 @@ class FaultStats:
             "corrupted": self.corrupted,
             "held": self.held,
             "released": self.released,
+            "released_to_dead": self.released_to_dead,
+            "expired": self.expired,
         }
+
+    def in_flight(self) -> int:
+        """Held mail with no delivery disposition yet.
+
+        Mid-run this counts envelopes still buffered for a future
+        release round; after the run-end drain it equals ``expired``
+        (terminal accounting for mail the run never released).
+        """
+        return self.held - self.released - self.released_to_dead
 
     @property
     def total(self) -> int:

@@ -208,7 +208,8 @@ def classify_scenario(
         stats = result.fault_stats
         row.update(stats.as_dict() if stats is not None else
                    {"dropped": 0, "duplicated": 0, "corrupted": 0,
-                    "held": 0, "released": 0})
+                    "held": 0, "released": 0, "released_to_dead": 0,
+                    "expired": 0})
         row["detail"] = None
         row["_result"] = result
     else:
@@ -222,6 +223,8 @@ def classify_scenario(
             "corrupted": issued.get("corrupt", 0),
             "held": issued.get("hold", 0),
             "released": None,
+            "released_to_dead": None,
+            "expired": None,
         })
         row["detail"] = json.dumps(detail, default=repr)
     return row

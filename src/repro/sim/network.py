@@ -37,6 +37,7 @@ from repro.faults.base import (
     validate_plan,
 )
 from repro.crypto.shared_randomness import SharedRandomness
+from repro.sim.columnar import ColumnarRound, columnar_default
 from repro.sim.messages import Broadcast, CostModel, Envelope, Send
 from repro.sim.metrics import Metrics
 from repro.sim.node import Context, Process, Program
@@ -121,6 +122,17 @@ class SyncNetwork:
         charged to the ledgers exactly once, so faults change delivery
         only, never counted quantities.  The default ``None`` keeps the
         fault-free step bodies byte-for-byte untouched.
+    columnar:
+        Selects the columnar deliver core (:mod:`repro.sim.columnar`)
+        for rounds that need no per-envelope hooks — i.e. whenever
+        neither an enabled observer nor a fault model is attached.
+        ``None`` (the default) resolves via
+        :func:`~repro.sim.columnar.columnar_default` (on unless
+        ``REPRO_COLUMNAR=0``); ``False`` forces the per-``Envelope``
+        object path (``_step_fast``), kept for A/B oracles and
+        bisection.  Every counted quantity, ledger, and output is
+        byte-identical either way (``tests/test_fastpath_ab.py``,
+        ``tests/test_columnar_property.py``).
     """
 
     def __init__(
@@ -137,6 +149,7 @@ class SyncNetwork:
         monitors: Sequence[object] = (),
         observer: Optional[object] = None,
         fault_model: Optional[FaultModel] = None,
+        columnar: Optional[bool] = None,
     ):
         if not processes:
             raise ValueError("need at least one process")
@@ -157,6 +170,8 @@ class SyncNetwork:
             self.profiler is not None
             or (observer is not None and getattr(observer, "enabled", False))
         )
+        self._columnar = (columnar_default() if columnar is None
+                          else bool(columnar))
         self.fault_model = fault_model
         self.fault_stats = FaultStats() if fault_model is not None else None
         # Envelopes a `hold` verdict deferred, keyed by release round.
@@ -309,13 +324,115 @@ class SyncNetwork:
         return delivered
 
     def step(self) -> None:
-        """Execute one synchronous round."""
+        """Execute one synchronous round.
+
+        Dispatch mirrors the hook requirements, cheapest body last: a
+        fault model needs per-envelope verdicts (``_step_faulted``), an
+        enabled observer needs per-phase timers and events
+        (``_step_observed``), and everything else takes the columnar
+        deliver core (``_step_columnar``) — or the per-``Envelope``
+        object path when columnar is disabled.
+        """
         if self.fault_model is not None:
             self._step_faulted()
         elif self._instrumented:
             self._step_observed()
+        elif self._columnar:
+            self._step_columnar()
         else:
             self._step_fast()
+
+    def _step_columnar(self) -> None:
+        """The columnar hot path: delivery as parallel-array appends.
+
+        Charging is identical to :meth:`_step_fast` — same sender
+        order, same constant-``(message, claim)`` run batching through
+        ``Metrics.record_sends`` (whose identity-keyed bit cache is
+        thereby reused across the whole batch) — but instead of
+        constructing one :class:`Envelope` per delivered message, each
+        whole-network broadcast becomes one column row and each
+        targeted run a row plus per-envelope recipient ids.  Inboxes
+        are :class:`~repro.sim.columnar.LazyInbox` views materialized
+        only when a program reads them at the ``program.send()``
+        boundary, so listen-free rounds cost O(senders), not
+        O(messages).
+        """
+        self.round_no += 1
+        round_no = self.round_no
+        metrics = self.metrics
+        contexts = self.contexts
+        processes = self.processes
+        metrics.begin_round()
+        for index in self._alive_order:
+            contexts[index].current_round = round_no
+
+        pending = self._pending
+        proposed = {index: pending.get(index, []) for index in self._alive_order}
+        delivered = self._apply_crash_plan(proposed)
+
+        column = ColumnarRound(round_no)
+        add_broadcast = column.add_broadcast
+        add_run = column.add_run
+        resolve = self.authenticator.resolve
+        n = self.n
+        for sender, sends in delivered.items():
+            if not sends:
+                continue
+            process = processes[sender]
+            byz = process.byzantine
+            sender_true_uid = process.uid
+            if type(sends) is Broadcast and sends.n == n:
+                # Whole-network fan-out: one charge, one column row —
+                # no per-link Send objects, no per-recipient envelopes.
+                message = sends.message
+                metrics.record_sends(sender, message, sends.n, byzantine=byz)
+                perceived_uid, recorded_claim = resolve(
+                    sender_true_uid, sends.claim
+                )
+                add_broadcast(sender, message, perceived_uid, recorded_claim)
+                continue
+            total = len(sends)
+            i = 0
+            while i < total:
+                send = sends[i]
+                message = send.message
+                claim = send.claim
+                j = i + 1
+                while j < total:
+                    nxt = sends[j]
+                    if nxt.message is not message or nxt.claim != claim:
+                        break
+                    j += 1
+                metrics.record_sends(sender, message, j - i, byzantine=byz)
+                perceived_uid, recorded_claim = resolve(sender_true_uid, claim)
+                add_run(sender, message, perceived_uid, recorded_claim,
+                        sends, i, j)
+                i = j
+
+        # Messages addressed to crashed or terminated links vanish (they
+        # were still charged): attach() freezes the alive set exactly
+        # like the object path's inbox dict.
+        inboxes = column.attach(self._alive_order)
+
+        for index in tuple(self._alive_order):
+            program = self._programs.get(index)
+            if program is None:
+                continue
+            try:
+                next_sends = program.send(inboxes[index])
+                self._pending[index] = self._validated(index, next_sends)
+            except StopIteration as stop:
+                self._finish(index, stop.value)
+                self._pending.pop(index, None)
+            except Exception:
+                if not self.processes[index].byzantine:
+                    raise
+                self.trace.record(self.round_no, "byzantine-fault", index)
+                self._finish(index, None)
+                self._pending.pop(index, None)
+
+        for monitor in self.monitors:
+            monitor.on_round(self)
 
     def _step_fast(self) -> None:
         """The uninstrumented hot path — byte-identical accounting to
@@ -609,7 +726,16 @@ class SyncNetwork:
         for envelope in self._held.pop(round_no, ()):
             inbox = inbox_of(envelope.to)
             if inbox is None:
-                continue  # receiver crashed or terminated while held
+                # Receiver crashed or terminated while the mail was in
+                # flight: the envelope vanishes, but the books must not
+                # — ``held == released + released_to_dead + in_flight()``
+                # holds at every instant.
+                stats.released_to_dead += 1
+                if emit:
+                    obs.emit("fault.release", round_no=round_no,
+                             node=envelope.sender, to=envelope.to,
+                             dead=True)
+                continue
             inbox.append(envelope)
             stats.released += 1
             if emit:
@@ -743,6 +869,29 @@ class SyncNetwork:
                      bits=metrics.bits_per_round[-1],
                      alive=len(self._alive_order))
 
+    def _expire_held(self, emit: bool, obs: object) -> None:
+        """Terminal accounting for mail still held when the run ends.
+
+        An envelope whose release round lies beyond the last executed
+        round would otherwise vanish from :class:`FaultStats` — booked
+        as ``held`` forever with no terminal disposition.  Each one is
+        counted in ``expired`` and announced with a ``fault.expire``
+        event, so ``in_flight()`` equals ``expired`` after a completed
+        run and the ledger identity ``held == released +
+        released_to_dead + in_flight()`` is auditable end to end.
+        """
+        if not self._held:
+            return
+        stats = self.fault_stats
+        for release_round in sorted(self._held):
+            for envelope in self._held[release_round]:
+                stats.expired += 1
+                if emit:
+                    obs.emit("fault.expire", round_no=self.round_no,
+                             node=envelope.sender, to=envelope.to,
+                             release=release_round)
+        self._held.clear()
+
     def run(self) -> None:
         """Run rounds until every correct, non-crashed node terminates."""
         obs = self.observer
@@ -770,6 +919,7 @@ class SyncNetwork:
             self.step()
         for index in sorted(set(self._programs) - set(self.finished)):
             self._programs[index].close()
+        self._expire_held(emit, obs)
         for monitor in self.monitors:
             monitor.on_finish(self)
         if emit:

@@ -25,10 +25,23 @@ from repro.adversary.crash import (
     MidSendPartitioner,
     RandomCrash,
 )
+from repro.adversary.byzantine import make_chaos_monkey, silent
 from repro.analysis.experiments import default_namespace, sample_uids
-from repro.baselines.collect_rank import CollectRankNode
-from repro.core.crash_renaming import CrashRenamingConfig, CrashRenamingNode
+from repro.baselines.balls_into_slots import run_balls_into_slots
+from repro.baselines.collect_rank import CollectRankNode, run_collect_rank
+from repro.baselines.obg_halving import run_obg_halving
+from repro.core.byzantine_renaming import (
+    ByzantineRenamingConfig,
+    ByzantineRenamingNode,
+    run_byzantine_renaming,
+)
+from repro.core.crash_renaming import (
+    CrashRenamingConfig,
+    CrashRenamingNode,
+    run_crash_renaming,
+)
 from repro.crypto.auth import Authenticator
+from repro.crypto.shared_randomness import SharedRandomness
 from repro.falsify.faulty import RacyRankNode
 from repro.falsify.replay import RecordingAdversary, ReplayAdversary
 from repro.sim.messages import (
@@ -48,7 +61,8 @@ from repro.sim.trace import Trace
 class ReferenceNetwork:
     """The pre-optimization engine semantics, kept as an oracle."""
 
-    def __init__(self, processes, cost, *, crash_adversary=None, seed=0):
+    def __init__(self, processes, cost, *, crash_adversary=None, seed=0,
+                 shared=None):
         from repro.adversary.base import NoCrashes
 
         self.processes = list(processes)
@@ -63,7 +77,8 @@ class ReferenceNetwork:
         seed_root = Random(seed)
         self.contexts = [
             Context(n=self.n, namespace=cost.namespace, index=index,
-                    rng=Random(seed_root.getrandbits(64)), cost=cost)
+                    rng=Random(seed_root.getrandbits(64)), cost=cost,
+                    shared=shared)
             for index in range(self.n)
         ]
         self._programs = {}
@@ -169,9 +184,7 @@ class ReferenceNetwork:
             self._programs[index].close()
 
 
-def _observables_fast(processes_fn, cost, adversary_fn, seed):
-    result = run_network(processes_fn(), cost,
-                         crash_adversary=adversary_fn(), seed=seed)
+def _result_observables(result):
     metrics = result.metrics
     return {
         "summary": metrics.summary(),
@@ -182,9 +195,19 @@ def _observables_fast(processes_fn, cost, adversary_fn, seed):
     }
 
 
-def _observables_reference(processes_fn, cost, adversary_fn, seed):
+def _observables_fast(processes_fn, cost, adversary_fn, seed, columnar=None,
+                      shared=None):
+    result = run_network(processes_fn(), cost,
+                         crash_adversary=adversary_fn(), seed=seed,
+                         columnar=columnar, shared=shared)
+    return _result_observables(result)
+
+
+def _observables_reference(processes_fn, cost, adversary_fn, seed,
+                           shared=None):
     network = ReferenceNetwork(processes_fn(), cost,
-                               crash_adversary=adversary_fn(), seed=seed)
+                               crash_adversary=adversary_fn(), seed=seed,
+                               shared=shared)
     network.run()
     return {
         "summary": dict(network.summary),
@@ -201,13 +224,20 @@ def _population(n, seed):
 
 
 class TestFastPathAB:
-    """Optimized and reference executors must count identically."""
+    """Optimized and reference executors must count identically.
+
+    Both engine fast paths are held to the oracle: the per-envelope
+    object path (``columnar=False``) and the columnar deliver core
+    (``columnar=True``).
+    """
 
     def _assert_identical(self, processes_fn, cost, adversary_fn, seed):
-        fast = _observables_fast(processes_fn, cost, adversary_fn, seed)
         reference = _observables_reference(
             processes_fn, cost, adversary_fn, seed)
-        assert fast == reference
+        for columnar in (False, True):
+            fast = _observables_fast(
+                processes_fn, cost, adversary_fn, seed, columnar=columnar)
+            assert fast == reference, f"columnar={columnar}"
 
     def test_gossip_broadcast_heavy_no_crashes(self):
         uids, namespace = _population(14, seed=3)
@@ -243,6 +273,71 @@ class TestFastPathAB:
         self._assert_identical(
             lambda: [RacyRankNode(uid) for uid in uids],
             cost, lambda: MidSendPartitioner(3, rng=Random(8)), seed=6)
+
+
+class TestColumnarEntryPoints:
+    """All five public ``run_*`` entry points count identically on both
+    engine fast paths (per-envelope object deliver vs columnar)."""
+
+    def _ab(self, run_fn):
+        object_path = _result_observables(run_fn(False))
+        columnar = _result_observables(run_fn(True))
+        assert columnar == object_path
+        return columnar
+
+    def test_run_crash_renaming_under_random_crashes(self):
+        uids, namespace = _population(16, seed=21)
+        self._ab(lambda columnar: run_crash_renaming(
+            uids, namespace=namespace,
+            adversary=RandomCrash(5, rate=0.2, rng=Random(3)),
+            seed=13, columnar=columnar))
+
+    def test_run_byzantine_renaming_with_corruptions(self):
+        uids, namespace = _population(10, seed=31)
+        corrupt = {uids[2]: silent,
+                   uids[7]: make_chaos_monkey(salt=1, volume=3)}
+        observed = self._ab(lambda columnar: run_byzantine_renaming(
+            uids, namespace=namespace, byzantine=corrupt,
+            shared_seed=5, seed=17, columnar=columnar))
+        assert observed["summary"]["byzantine_messages"] > 0
+
+    def test_run_collect_rank_under_partitioner(self):
+        uids, namespace = _population(12, seed=7)
+        self._ab(lambda columnar: run_collect_rank(
+            uids, namespace=namespace, assumed_faults=4,
+            adversary=MidSendPartitioner(4, rng=Random(12)),
+            seed=9, columnar=columnar))
+
+    def test_run_obg_halving_under_random_crashes(self):
+        uids, namespace = _population(16, seed=11)
+        self._ab(lambda columnar: run_obg_halving(
+            uids, namespace=namespace,
+            adversary=RandomCrash(4, rate=0.15, rng=Random(2)),
+            seed=3, columnar=columnar))
+
+    def test_run_balls_into_slots_clean(self):
+        uids, namespace = _population(14, seed=19)
+        self._ab(lambda columnar: run_balls_into_slots(
+            uids, namespace=namespace, seed=23, columnar=columnar))
+
+    def test_byzantine_protocol_matches_reference_oracle(self):
+        # The oracle gained shared-randomness support for exactly this
+        # case: the Byzantine committee lottery reads ``ctx.shared``.
+        uids, namespace = _population(8, seed=41)
+        cost = CostModel(n=8, namespace=namespace)
+        config = ByzantineRenamingConfig()
+
+        def processes():
+            return [ByzantineRenamingNode(uid, config) for uid in uids]
+
+        reference = _observables_reference(
+            processes, cost, lambda: None, seed=9,
+            shared=SharedRandomness(7))
+        for columnar in (False, True):
+            fast = _observables_fast(
+                processes, cost, lambda: None, seed=9,
+                columnar=columnar, shared=SharedRandomness(7))
+            assert fast == reference, f"columnar={columnar}"
 
 
 class _Tag(Message):

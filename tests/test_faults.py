@@ -442,6 +442,65 @@ class TestNetworkFaults:
         assert result.crashed == {0}
         assert result.fault_stats.released < result.fault_stats.held
 
+    def test_release_to_dead_receiver_is_counted(self):
+        """Regression: mail held for a receiver that crashed before the
+        release round used to vanish from the ledger; now every held
+        message is accounted for: ``held == released + released_to_dead``
+        at run end (nothing left in flight)."""
+        from repro.obs import EventRecorder, validate_events
+
+        n = 3
+        model = TransientPartition(1, 3, left=[0])
+        adversary = ScheduledCrash({2: [0]})
+        recorder = EventRecorder()
+        result = run_network(
+            beacons(n, rounds=3), cost_for(n),
+            crash_adversary=adversary, fault_model=model, observer=recorder)
+        stats = result.fault_stats
+        assert result.crashed == {0}
+        assert stats.released_to_dead > 0
+        assert stats.held == stats.released + stats.released_to_dead
+        assert stats.in_flight() == 0 and stats.expired == 0
+        assert stats.as_dict()["released_to_dead"] == stats.released_to_dead
+        events = recorder.events("fault")
+        assert validate_events(events) == []
+        dead_releases = [
+            event for event in events
+            if event["kind"] == "fault.release"
+            and event.get("data", {}).get("dead")
+        ]
+        assert len(dead_releases) == stats.released_to_dead
+
+    def test_held_mail_past_termination_expires(self):
+        """Regression: a partition whose heal round exceeds the run
+        length used to leave held mail in the queue forever with no
+        ledger trace; the run-end drain now expires it."""
+        from repro.obs import EventRecorder, validate_events
+
+        n = 4
+        # Beacons finish after round 2; the cut heals at round 10.
+        model = TransientPartition(1, 10, left=[0, 1])
+        recorder = EventRecorder()
+        processes = beacons(n, rounds=2)
+        result = run_network(processes, cost_for(n), fault_model=model,
+                             observer=recorder)
+        stats = result.fault_stats
+        assert stats.held == 2 * (2 * 2 * 2)  # two rounds of cross traffic
+        assert stats.released == 0 and stats.released_to_dead == 0
+        assert stats.in_flight() == stats.held
+        assert stats.expired == stats.in_flight()
+        assert stats.as_dict()["expired"] == stats.expired
+        # The cross-cut mail really never arrived.
+        for index, process in enumerate(processes):
+            mine = {0, 1} if index < 2 else {2, 3}
+            for inbox in process.inboxes:
+                assert {env.sender for env in inbox} <= mine
+        events = recorder.events("fault")
+        assert validate_events(events) == []
+        expire_events = [event for event in events
+                         if event["kind"] == "fault.expire"]
+        assert len(expire_events) == stats.expired
+
     def test_bad_plan_rejected_atomically(self):
         model = PlanOnce(1, {0: {99: drop()}})
         with pytest.raises(FaultPlanError, match="outside"):

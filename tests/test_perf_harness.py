@@ -25,6 +25,43 @@ def test_run_perf_schema():
             assert phase["wall_s"] >= 0
 
 
+def test_run_perf_workload_filter():
+    results = perf.run_perf([16], repeat=1, workloads=["broadcast"])
+    assert set(results) == {"broadcast_n16"}
+
+    try:
+        perf.run_perf([16], repeat=1, workloads=["broadcast", "typo"])
+    except ValueError as error:
+        assert "typo" in str(error)
+    else:  # pragma: no cover
+        raise AssertionError("unknown workload name was accepted")
+
+
+def test_run_perf_skips_phases_above_threshold(monkeypatch):
+    # Above PHASES_MAX_N the extra instrumented (object-path) execution
+    # is skipped and the row carries no "phases" key.
+    monkeypatch.setattr(perf, "PHASES_MAX_N", 8)
+    results = perf.run_perf([16], repeat=1, workloads=["broadcast"])
+    assert "phases" not in results["broadcast_n16"]
+
+
+def test_msgs_per_s_rounds_half_even(monkeypatch):
+    # 7 msgs / 2 s = 3.5 msgs/s: floor-truncation said 3, half-even
+    # rounding says 4.  Feed deterministic clock readings to pin it.
+    walls = iter([0.0, 2.0])
+    monkeypatch.setattr(perf.time, "perf_counter", lambda: next(walls))
+
+    class _Metrics:
+        total_messages = 7
+
+    class _Result:
+        metrics = _Metrics()
+        rounds = 1
+
+    stats = perf.time_execution(lambda: _Result(), repeat=1)
+    assert stats["msgs_per_s"] == 4
+
+
 def test_broadcast_heavy_counts():
     result = perf.run_broadcast_heavy(16, rounds=3)
     # Every node broadcasts to all n links each round until it returns.
@@ -46,6 +83,14 @@ def test_main_writes_json(tmp_path, capsys):
     assert set(results) == {"broadcast_n8", "crash_n8"}
     stdout = capsys.readouterr().out
     assert "broadcast_n8" in stdout and str(out) in stdout
+
+
+def test_main_workloads_flag(tmp_path, capsys):
+    out = tmp_path / "bench.json"
+    assert perf.main(["--n", "8", "--repeat", "1", "--out", str(out),
+                      "--workloads", "broadcast"]) == 0
+    assert set(json.loads(out.read_text())) == {"broadcast_n8"}
+    capsys.readouterr()
 
 
 def test_cli_entry_point(tmp_path):
