@@ -7,7 +7,9 @@ Examples::
     python -m repro table1 --n 32 --f 4
     python -m repro lowerbound --n 48
     python -m repro sweep --driver crash --n 16,32,64 --seeds 0-4 --jobs 4
+    python -m repro sweep --driver crash --store duckdb://.repro/runs.duckdb
     python -m repro runs --export md
+    python -m repro runs export --parquet --out .repro/export
     python -m repro perf --quick
     python -m repro serve --quick
     python -m repro serve --shards 2,4,8 --events serve_events.jsonl
@@ -149,7 +151,12 @@ def _open_store(args):
 
     if getattr(args, "no_store", False):
         return None
-    return RunStore(args.store if args.store else default_store_path())
+    try:
+        return RunStore(args.store if args.store else default_store_path())
+    except (ValueError, RuntimeError) as error:
+        # Bad scheme, missing path, or an uninstalled optional backend:
+        # one line, no traceback.
+        raise SystemExit(f"python -m repro: {error}") from None
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
@@ -493,6 +500,15 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return chaos.main(argv)
 
 
+def _ledger_json(store, run, include: bool):
+    if not include:
+        return None
+    ledger = store.ledger(run.hash)
+    if ledger is None:
+        return None
+    return dict(zip(("messages_per_round", "bits_per_round"), ledger))
+
+
 def cmd_runs(args: argparse.Namespace) -> int:
     from datetime import datetime, timezone
 
@@ -510,10 +526,7 @@ def cmd_runs(args: argparse.Namespace) -> int:
                         "status": run.status, "row": run.row,
                         "error": run.error, "elapsed": run.elapsed,
                         "created": run.created,
-                        "ledger": dict(zip(
-                            ("messages_per_round", "bits_per_round"),
-                            store.ledger(run.hash),
-                        )) if args.ledgers else None,
+                        "ledger": _ledger_json(store, run, args.ledgers),
                     }
                     for run in stored
                 ],
@@ -551,6 +564,32 @@ def cmd_runs(args: argparse.Namespace) -> int:
             )
     finally:
         store.close()
+    return 0
+
+
+def cmd_runs_export(args: argparse.Namespace) -> int:
+    from repro.engine.export import export_store
+
+    formats = [fmt for fmt, wanted in
+               (("jsonl", args.jsonl), ("parquet", args.parquet)) if wanted]
+    if not formats:
+        formats = ["jsonl"]
+    store = _open_store(args)
+    try:
+        try:
+            written = export_store(store, args.out, formats=formats,
+                                   driver=args.driver, status=args.status)
+        except RuntimeError as error:
+            print(f"python -m repro runs export: {error}", file=sys.stderr)
+            return 1
+        exported = len(store.query(driver=args.driver, status=args.status))
+    finally:
+        store.close()
+    for table in ("runs", "ledgers", "telemetry"):
+        for path in written[table]:
+            print(path)
+    print(f"\nexported {exported} runs (+ ledgers, telemetry) as "
+          f"{'/'.join(formats)} under {args.out}", file=sys.stderr)
     return 0
 
 
@@ -624,7 +663,8 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="KEY=VALUE",
                        help="extra driver keyword (JSON value); repeatable")
     sweep.add_argument("--store", default=None,
-                       help="run-store path (default $REPRO_STORE or "
+                       help="run-store path or scheme://path URL "
+                            "(default $REPRO_STORE or "
                             ".repro/runs.sqlite)")
     sweep.add_argument("--no-store", action="store_true",
                        help="run without reading or writing the store")
@@ -669,7 +709,8 @@ def build_parser() -> argparse.ArgumentParser:
                          help="extra scenario keyword (JSON value); "
                               "repeatable")
     falsify.add_argument("--store", default=None,
-                         help="run-store path (default $REPRO_STORE or "
+                         help="run-store path or scheme://path URL "
+                            "(default $REPRO_STORE or "
                               ".repro/runs.sqlite)")
     falsify.add_argument("--no-store", action="store_true",
                          help="run without reading or writing the store")
@@ -803,7 +844,8 @@ def build_parser() -> argparse.ArgumentParser:
     obs_report.add_argument("--format", choices=["plain", "md", "json"],
                             default="plain")
     obs_report.add_argument("--store", default=None,
-                            help="run-store path (default $REPRO_STORE or "
+                            help="run-store path or scheme://path URL "
+                            "(default $REPRO_STORE or "
                                  ".repro/runs.sqlite)")
     obs_report.set_defaults(func=cmd_obs)
 
@@ -819,9 +861,33 @@ def build_parser() -> argparse.ArgumentParser:
     runs.add_argument("--ledgers", action="store_true",
                       help="include per-round ledgers in --export json")
     runs.add_argument("--store", default=None,
-                      help="run-store path (default $REPRO_STORE or "
-                           ".repro/runs.sqlite)")
-    runs.set_defaults(func=cmd_runs)
+                      help="run-store path or scheme://path URL (default "
+                           "$REPRO_STORE or .repro/runs.sqlite)")
+    runs.set_defaults(func=cmd_runs, runs_command=None)
+
+    runs_sub = runs.add_subparsers(dest="runs_command")
+    runs_export = runs_sub.add_parser(
+        "export",
+        help="dump runs+ledgers+telemetry as columnar files for "
+             "analytics SQL",
+    )
+    runs_export.add_argument("--out", default=".repro/export",
+                             help="output directory (default .repro/export)")
+    runs_export.add_argument("--parquet", action="store_true",
+                             help="write Parquet files (needs pyarrow "
+                                  "or duckdb)")
+    runs_export.add_argument("--jsonl", action="store_true",
+                             help="write JSONL files (stdlib only; the "
+                                  "default when no format is given)")
+    runs_export.add_argument("--driver", default=None,
+                             help="restrict the export to one driver")
+    runs_export.add_argument("--status", choices=["ok", "failed"],
+                             default=None)
+    runs_export.add_argument("--store", default=None,
+                             help="run-store path or scheme://path URL "
+                                  "(default $REPRO_STORE or "
+                                  ".repro/runs.sqlite)")
+    runs_export.set_defaults(func=cmd_runs_export)
 
     return parser
 

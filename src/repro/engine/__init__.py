@@ -2,12 +2,15 @@
 
 Three layers, each usable on its own:
 
-``repro.engine.store``
-    A SQLite-backed (stdlib ``sqlite3``, WAL mode) store that
-    content-addresses every protocol execution by a canonical hash of
-    ``(driver, n, f, seed, params, code_version)`` and persists the
-    summary row plus the per-round message/bit ledgers.  Re-running a
-    sweep whose runs are already stored performs zero executions.
+``repro.engine.store`` / ``repro.engine.backends``
+    A content-addressed store (canonical hash of ``(driver, n, f,
+    seed, params, code_version)``) persisting the summary row plus the
+    per-round message/bit ledgers, behind a pluggable backend
+    interface: stdlib SQLite (WAL, per-thread pooled connections) by
+    default, DuckDB via ``duckdb://`` URLs for analytics.  Re-running
+    a sweep whose runs are already stored performs zero executions,
+    and ``repro.engine.export`` dumps runs/ledgers/telemetry as
+    columnar Parquet/JSONL files for SQL-native frontier queries.
 
 ``repro.engine.sweeps``
     Declarative :class:`SweepSpec` / :class:`RunRequest` descriptions of
@@ -28,8 +31,21 @@ The CLI front ends are ``python -m repro sweep`` and
 protocol execution through this engine.
 """
 
+from repro.engine.backends import (
+    StoreBackend,
+    available_backend_schemes,
+    open_backend,
+    parse_store_url,
+)
+from repro.engine.export import export_store
 from repro.engine.pool import RunResult, run_requests
-from repro.engine.store import RunStore, code_version, default_store_path, run_hash
+from repro.engine.store import (
+    RunStore,
+    StoredRun,
+    code_version,
+    default_store_path,
+    run_hash,
+)
 from repro.engine.sweeps import (
     DRIVERS,
     RunRequest,
@@ -46,12 +62,18 @@ __all__ = [
     "RunRequest",
     "RunResult",
     "RunStore",
+    "StoreBackend",
+    "StoredRun",
     "SweepSpec",
+    "available_backend_schemes",
     "code_version",
     "default_store_path",
     "driver_names",
     "evaluate_f",
     "execute_request",
+    "export_store",
+    "open_backend",
+    "parse_store_url",
     "register_driver",
     "run_hash",
     "run_requests",

@@ -1,0 +1,91 @@
+"""Run-store backends: one contract, pluggable engines.
+
+``parse_store_url`` / ``open_backend`` implement the ``REPRO_STORE``
+URL scheme:
+
+* ``sqlite:///abs/path.sqlite`` or ``sqlite://rel/path.sqlite`` — the
+  default stdlib SQLite backend (WAL, per-thread pooled connections).
+* ``duckdb://path.duckdb`` — the optional DuckDB analytics backend;
+  selecting it without the package installed raises a clear error.
+* A bare path (``.repro/runs.sqlite``) stays SQLite for compatibility
+  with every pre-URL store path.
+
+Adding a backend is one module exposing a
+:class:`~repro.engine.backends.base.StoreBackend` subclass plus an
+entry in :data:`BACKEND_SCHEMES`; the conformance suite in
+``tests/test_store_backends.py`` runs the full contract against every
+backend that reports itself available.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable
+
+from repro.engine.backends.base import (
+    ConnectionPool,
+    SqlStoreBackend,
+    StoreBackend,
+    StoredRun,
+    normalize_ledger,
+)
+from repro.engine.backends.duckdb import DuckdbBackend, duckdb_available
+from repro.engine.backends.sqlite import SqliteBackend
+
+#: Registered URL schemes -> backend constructors (taking a path).
+BACKEND_SCHEMES: dict[str, Callable[[str], StoreBackend]] = {
+    "sqlite": SqliteBackend,
+    "duckdb": DuckdbBackend,
+}
+
+
+def parse_store_url(value: os.PathLike | str) -> tuple[str, str]:
+    """Split a store location into ``(scheme, path)``.
+
+    Bare paths (no ``://``) select ``sqlite`` so every pre-existing
+    store path keeps working unchanged.
+    """
+    text = os.fspath(value)
+    scheme, separator, rest = text.partition("://")
+    if not separator:
+        return "sqlite", text
+    scheme = scheme.lower()
+    if scheme not in BACKEND_SCHEMES:
+        known = ", ".join(f"{name}://" for name in sorted(BACKEND_SCHEMES))
+        raise ValueError(
+            f"unknown run-store scheme {scheme!r} in {text!r}; "
+            f"known schemes: {known} (a bare path selects sqlite)"
+        )
+    if not rest:
+        raise ValueError(f"run-store URL {text!r} is missing a path")
+    return scheme, rest
+
+
+def available_backend_schemes() -> list[str]:
+    """Schemes usable right now (``duckdb`` only when importable)."""
+    schemes = ["sqlite"]
+    if duckdb_available():
+        schemes.append("duckdb")
+    return schemes
+
+
+def open_backend(value: os.PathLike | str) -> StoreBackend:
+    """Open the backend selected by a path or ``scheme://path`` URL."""
+    scheme, path = parse_store_url(value)
+    return BACKEND_SCHEMES[scheme](path)
+
+
+__all__ = [
+    "BACKEND_SCHEMES",
+    "ConnectionPool",
+    "DuckdbBackend",
+    "SqlStoreBackend",
+    "SqliteBackend",
+    "StoreBackend",
+    "StoredRun",
+    "available_backend_schemes",
+    "duckdb_available",
+    "normalize_ledger",
+    "open_backend",
+    "parse_store_url",
+]

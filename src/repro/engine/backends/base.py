@@ -1,0 +1,451 @@
+"""The run-store backend contract and the shared SQL implementation.
+
+A *backend* persists content-addressed protocol executions.  The
+contract — the methods of :class:`StoreBackend` — is deliberately small
+so new engines (asyncpg, ...) are one-file additions:
+
+``put`` / ``get`` / ``query`` / ``ledger`` / ``put_telemetry`` /
+``telemetry`` / ``telemetry_rows`` / ``stats`` / ``delete`` / ``clear``
+
+Semantics every backend must honour (pinned by the conformance suite in
+``tests/test_store_backends.py``):
+
+* ``put`` replaces the row under its content hash and rewrites its
+  ledgers atomically; ``messages_per_round`` and ``bits_per_round``
+  must be given together with equal lengths (``ValueError`` naming the
+  run hash otherwise).
+* ``ledger`` distinguishes **no ledger stored** (``None``) from a
+  legitimately **empty ledger** (``([], [])``) — a zero-round run must
+  survive a store round trip.
+* ``put_telemetry`` replaces on the same ``(run_hash, key)``.
+* ``query`` orders by ``(created, hash)``; ``stats`` reports totals.
+* Readers in other threads (and, where the engine allows it, other
+  processes) see committed writes — concurrent readers are first-class.
+
+:class:`SqlStoreBackend` implements the whole contract over DB-API
+style connections using only portable SQL (``?`` placeholders, quoted
+identifiers, explicit ``BEGIN``/``COMMIT``), so the SQLite and DuckDB
+backends are thin subclasses that supply connections and DDL.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Optional, Sequence
+
+
+def canonical_json(value: object) -> str:
+    """Deterministic JSON: sorted keys, no whitespace variance."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass
+class StoredRun:
+    """One persisted execution, decoded from the ``runs`` table."""
+
+    hash: str
+    driver: str
+    n: int
+    f: int
+    seed: int
+    params: dict
+    code_version: str
+    status: str
+    row: Optional[dict]
+    error: Optional[str]
+    elapsed: Optional[float]
+    created: float
+    #: Whether the run was stored *with* a per-round ledger.  An empty
+    #: ledger (a zero-round run) still sets this, so ``[]`` and ``None``
+    #: survive store round trips distinctly.
+    has_ledger: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+def normalize_ledger(
+    hash_: str,
+    messages_per_round: Optional[Sequence[int]],
+    bits_per_round: Optional[Sequence[int]],
+) -> Optional[tuple[list[int], list[int]]]:
+    """Validate a put's ledger pair; return ``(messages, bits)`` lists.
+
+    Both-or-neither and equal lengths — a bare ``zip`` here used to
+    silently drop the ledger when one side was ``None`` and silently
+    truncate to the shorter list on a length mismatch, corrupting the
+    stored ledger without a trace.
+    """
+    if (messages_per_round is None) != (bits_per_round is None):
+        given, missing = (
+            ("messages_per_round", "bits_per_round")
+            if bits_per_round is None
+            else ("bits_per_round", "messages_per_round")
+        )
+        raise ValueError(
+            f"run {hash_}: {given} given without {missing}; the per-round "
+            "ledger lists must be stored together or not at all"
+        )
+    if messages_per_round is None:
+        return None
+    messages = [int(m) for m in messages_per_round]
+    bits = [int(b) for b in bits_per_round]
+    if len(messages) != len(bits):
+        raise ValueError(
+            f"run {hash_}: ledger length mismatch — {len(messages)} "
+            f"messages_per_round rounds vs {len(bits)} bits_per_round "
+            "rounds; refusing to truncate"
+        )
+    return messages, bits
+
+
+class StoreBackend:
+    """Abstract run-store backend.  See the module docstring for the
+    contract; subclasses must implement every method below."""
+
+    #: URL scheme this backend answers to (``sqlite``, ``duckdb``, ...).
+    scheme: str = ""
+    #: Whether independent backend instances (possibly in different
+    #: processes) may open the same path concurrently.  SQLite in WAL
+    #: mode supports this; DuckDB locks the database file per process.
+    supports_concurrent_instances: bool = False
+
+    path: Path
+
+    # -- lifecycle ----------------------------------------------------
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+    def __enter__(self) -> "StoreBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- writes -------------------------------------------------------
+
+    def put(self, hash_: str, *, driver: str, n: int, f: int, seed: int,
+            params: object, version: str, status: str,
+            row: Optional[dict] = None, error: Optional[str] = None,
+            elapsed: Optional[float] = None,
+            messages_per_round: Optional[Sequence[int]] = None,
+            bits_per_round: Optional[Sequence[int]] = None) -> None:
+        raise NotImplementedError
+
+    def put_telemetry(self, hash_: str, key: str, value: object) -> None:
+        raise NotImplementedError
+
+    def delete(self, hash_: str) -> None:
+        raise NotImplementedError
+
+    def clear(self) -> None:
+        raise NotImplementedError
+
+    # -- reads --------------------------------------------------------
+
+    def get(self, hash_: str) -> Optional[StoredRun]:
+        raise NotImplementedError
+
+    def ledger(self, hash_: str) -> Optional[tuple[list[int], list[int]]]:
+        raise NotImplementedError
+
+    def query(self, *, driver: Optional[str] = None, n: Optional[int] = None,
+              f: Optional[int] = None, seed: Optional[int] = None,
+              status: Optional[str] = None,
+              current_version_only: bool = False,
+              limit: Optional[int] = None) -> list[StoredRun]:
+        raise NotImplementedError
+
+    def telemetry(self, hash_: str) -> dict:
+        raise NotImplementedError
+
+    def telemetry_rows(self, *, key: Optional[str] = None,
+                       driver: Optional[str] = None,
+                       limit: Optional[int] = None,
+                       ) -> list[tuple[str, str, dict]]:
+        raise NotImplementedError
+
+    def stats(self) -> dict:
+        raise NotImplementedError
+
+
+class ConnectionPool:
+    """Per-thread connections from a factory, closed together.
+
+    Database handles are rarely safe to share across threads (SQLite
+    enforces ``check_same_thread``; DuckDB wants one cursor per
+    thread), but a sweep coordinator, a progress watcher, and the
+    conformance suite's concurrent readers all touch one store object.
+    The pool hands every thread its own connection, lazily, and tracks
+    them all so ``close_all`` tears the store down deterministically.
+    """
+
+    def __init__(self, factory: Callable[[], object]):
+        self._factory = factory
+        self._local = threading.local()
+        self._all: list = []
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def get(self):
+        connection = getattr(self._local, "connection", None)
+        if connection is None:
+            with self._lock:
+                if self._closed:
+                    raise RuntimeError("store is closed")
+                connection = self._factory()
+                self._all.append(connection)
+            self._local.connection = connection
+        return connection
+
+    def close_all(self) -> None:
+        with self._lock:
+            self._closed = True
+            connections, self._all = self._all, []
+        for connection in connections:
+            try:
+                connection.close()
+            except Exception:  # pragma: no cover - teardown best effort
+                pass
+        self._local = threading.local()
+
+
+class SqlStoreBackend(StoreBackend):
+    """Shared SQL implementation over :class:`ConnectionPool`.
+
+    Subclasses provide :meth:`_connect` (one new connection for the
+    calling thread, schema already applied for the first one) and may
+    override :meth:`_transaction` if their engine needs anything beyond
+    ``BEGIN``/``COMMIT``/``ROLLBACK``.
+    """
+
+    def __init__(self):
+        self._pool = ConnectionPool(self._connect)
+        self._pool.get()  # create eagerly: surface path/schema errors now
+
+    # -- subclass hooks -----------------------------------------------
+
+    def _connect(self):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    # -- plumbing -----------------------------------------------------
+
+    def _execute(self, sql: str, parameters: Sequence = ()):
+        return self._pool.get().execute(sql, parameters)
+
+    def close(self) -> None:
+        self._pool.close_all()
+
+    def _write(self, statements: list[tuple[str, Sequence]]) -> None:
+        """Run ``statements`` in one explicit transaction.
+
+        ``BEGIN``/``COMMIT``/``ROLLBACK`` are portable across SQLite
+        (connections are opened in autocommit, ``isolation_level=None``)
+        and DuckDB, and keep a ``put``'s row + ledger rewrite atomic for
+        concurrent readers.
+        """
+        connection = self._pool.get()
+        connection.execute("BEGIN")
+        try:
+            for sql, parameters in statements:
+                connection.execute(sql, parameters)
+            connection.execute("COMMIT")
+        except BaseException:
+            connection.execute("ROLLBACK")
+            raise
+
+    # -- writes -------------------------------------------------------
+
+    def put(self, hash_: str, *, driver: str, n: int, f: int, seed: int,
+            params: object, version: str, status: str,
+            row: Optional[dict] = None, error: Optional[str] = None,
+            elapsed: Optional[float] = None,
+            messages_per_round: Optional[Sequence[int]] = None,
+            bits_per_round: Optional[Sequence[int]] = None) -> None:
+        """Insert or replace one run (and its per-round ledgers)."""
+        params_map = dict(params) if not isinstance(params, dict) else params
+        ledger = normalize_ledger(hash_, messages_per_round, bits_per_round)
+        statements: list[tuple[str, Sequence]] = [(
+            "INSERT OR REPLACE INTO runs"
+            " (hash, driver, n, f, seed, params, code_version,"
+            "  status, row, error, elapsed, created, has_ledger)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                hash_, driver, n, f, seed,
+                canonical_json(params_map), version, status,
+                # Row keys keep insertion order (not canonical_json):
+                # table columns come from the first row, so a cached
+                # row must render byte-identically to a fresh one.
+                json.dumps(row) if row is not None else None,
+                error, elapsed, time.time(),
+                ledger is not None,
+            ),
+        )]
+        statements.append(
+            ("DELETE FROM ledgers WHERE run_hash = ?", (hash_,)))
+        if ledger is not None:
+            messages, bits = ledger
+            statements.extend(
+                ("INSERT INTO ledgers (run_hash, \"round\", messages, bits)"
+                 " VALUES (?, ?, ?, ?)",
+                 (hash_, round_no + 1, message_count, bit_count))
+                for round_no, (message_count, bit_count)
+                in enumerate(zip(messages, bits))
+            )
+        self._write(statements)
+
+    def put_telemetry(self, hash_: str, key: str, value: object) -> None:
+        """Attach one observability row to a run hash.
+
+        ``value`` is any JSON-serializable object; re-putting the same
+        ``(hash, key)`` replaces the previous value.
+        """
+        self._write([(
+            "INSERT OR REPLACE INTO telemetry"
+            " (run_hash, key, value, created) VALUES (?, ?, ?, ?)",
+            (hash_, key, canonical_json(value), time.time()),
+        )])
+
+    def delete(self, hash_: str) -> None:
+        self._write([
+            ("DELETE FROM ledgers WHERE run_hash = ?", (hash_,)),
+            ("DELETE FROM telemetry WHERE run_hash = ?", (hash_,)),
+            ("DELETE FROM runs WHERE hash = ?", (hash_,)),
+        ])
+
+    def clear(self) -> None:
+        self._write([
+            ("DELETE FROM ledgers", ()),
+            ("DELETE FROM telemetry", ()),
+            ("DELETE FROM runs", ()),
+        ])
+
+    # -- reads --------------------------------------------------------
+
+    @staticmethod
+    def _decode(record: tuple) -> StoredRun:
+        (hash_, driver, n, f, seed, params, version, status, row, error,
+         elapsed, created, has_ledger) = record
+        return StoredRun(
+            hash=hash_, driver=driver, n=n, f=f, seed=seed,
+            params=json.loads(params), code_version=version, status=status,
+            row=json.loads(row) if row is not None else None,
+            error=error, elapsed=elapsed, created=created,
+            has_ledger=bool(has_ledger),
+        )
+
+    _COLUMNS = ("hash, driver, n, f, seed, params, code_version, status,"
+                " row, error, elapsed, created, has_ledger")
+
+    def get(self, hash_: str) -> Optional[StoredRun]:
+        cursor = self._execute(
+            f"SELECT {self._COLUMNS} FROM runs WHERE hash = ?", (hash_,)
+        )
+        record = cursor.fetchone()
+        return self._decode(record) if record else None
+
+    def ledger(self, hash_: str) -> Optional[tuple[list[int], list[int]]]:
+        """``(messages_per_round, bits_per_round)`` of one stored run.
+
+        ``None`` when the run is missing or was stored without a ledger;
+        ``([], [])`` for a run stored with a legitimately empty one.
+        """
+        flag = self._execute(
+            "SELECT has_ledger FROM runs WHERE hash = ?", (hash_,)
+        ).fetchone()
+        if flag is None or not flag[0]:
+            return None
+        records = self._execute(
+            "SELECT messages, bits FROM ledgers WHERE run_hash = ?"
+            " ORDER BY \"round\"", (hash_,)
+        ).fetchall()
+        return ([m for m, _ in records], [b for _, b in records])
+
+    def query(self, *, driver: Optional[str] = None, n: Optional[int] = None,
+              f: Optional[int] = None, seed: Optional[int] = None,
+              status: Optional[str] = None,
+              current_version_only: bool = False,
+              limit: Optional[int] = None) -> list[StoredRun]:
+        """Stored runs matching the given filters, oldest first."""
+        clauses, values = [], []
+        for column, value in (("driver", driver), ("n", n), ("f", f),
+                              ("seed", seed), ("status", status)):
+            if value is not None:
+                clauses.append(f"{column} = ?")
+                values.append(value)
+        if current_version_only:
+            from repro.engine.store import code_version
+
+            clauses.append("code_version = ?")
+            values.append(code_version())
+        sql = f"SELECT {self._COLUMNS} FROM runs"
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        sql += " ORDER BY created, hash"
+        if limit is not None:
+            # Inlined (after an int cast) rather than bound: not every
+            # engine accepts a parameter marker in LIMIT.
+            sql += f" LIMIT {int(limit)}"
+        return [self._decode(r) for r in self._execute(sql, values).fetchall()]
+
+    def telemetry(self, hash_: str) -> dict:
+        """All telemetry rows of one run, as ``{key: decoded value}``."""
+        return {
+            key: json.loads(value)
+            for key, value in self._execute(
+                "SELECT key, value FROM telemetry WHERE run_hash = ?"
+                " ORDER BY key", (hash_,)
+            ).fetchall()
+        }
+
+    def telemetry_rows(self, *, key: Optional[str] = None,
+                       driver: Optional[str] = None,
+                       limit: Optional[int] = None,
+                       ) -> list[tuple[str, str, dict]]:
+        """``(run_hash, key, value)`` telemetry rows, oldest first.
+
+        ``driver`` filters through the ``runs`` table; telemetry whose
+        run row is gone still matches when ``driver`` is ``None``.
+        """
+        clauses, values = [], []
+        sql = "SELECT t.run_hash, t.key, t.value FROM telemetry t"
+        if driver is not None:
+            sql += " JOIN runs r ON r.hash = t.run_hash"
+            clauses.append("r.driver = ?")
+            values.append(driver)
+        if key is not None:
+            clauses.append("t.key = ?")
+            values.append(key)
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        sql += " ORDER BY t.created, t.run_hash, t.key"
+        if limit is not None:
+            sql += f" LIMIT {int(limit)}"
+        return [
+            (hash_, key_, json.loads(value))
+            for hash_, key_, value in self._execute(sql, values).fetchall()
+        ]
+
+    def stats(self) -> dict:
+        """Aggregate counts for the CLI footer."""
+        total, ok, failed = self._execute(
+            "SELECT COUNT(*),"
+            " SUM(CASE WHEN status = 'ok' THEN 1 ELSE 0 END),"
+            " SUM(CASE WHEN status = 'failed' THEN 1 ELSE 0 END)"
+            " FROM runs"
+        ).fetchone()
+        drivers = [d for (d,) in self._execute(
+            "SELECT DISTINCT driver FROM runs ORDER BY driver").fetchall()]
+        return {
+            "total": int(total or 0),
+            "ok": int(ok or 0),
+            "failed": int(failed or 0),
+            "drivers": drivers,
+            "path": str(self.path),
+        }

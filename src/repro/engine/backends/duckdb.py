@@ -1,0 +1,108 @@
+"""Analytics run-store backend on DuckDB (optional dependency).
+
+Same contract, same tables as the SQLite default, but a columnar OLAP
+engine underneath: frontier queries, scaling fits, and joins over
+millions of cached runs run as plain SQL at analytics speed, and the
+Parquet export path can reuse the engine's native ``COPY``.
+
+DuckDB is deliberately *optional* — ``import duckdb`` happens lazily
+inside the constructor, so the rest of the engine (and the default
+SQLite path) works untouched when the package is absent.  Selecting a
+``duckdb://`` store without the package raises a clear error naming
+the missing dependency instead of an ImportError mid-sweep.
+
+Unlike SQLite/WAL, a DuckDB database file is locked by the opening
+process, so ``supports_concurrent_instances`` stays ``False``:
+concurrent readers are served by per-thread cursors duplicated from
+one root connection (the pool in the shared base), not by second
+processes opening the same file.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.engine.backends.base import SqlStoreBackend
+
+_SCHEMA_STATEMENTS = (
+    """
+    CREATE TABLE IF NOT EXISTS runs (
+        hash         VARCHAR PRIMARY KEY,
+        driver       VARCHAR NOT NULL,
+        n            BIGINT NOT NULL,
+        f            BIGINT NOT NULL,
+        seed         BIGINT NOT NULL,
+        params       VARCHAR NOT NULL,
+        code_version VARCHAR NOT NULL,
+        status       VARCHAR NOT NULL CHECK (status IN ('ok', 'failed')),
+        row          VARCHAR,
+        error        VARCHAR,
+        elapsed      DOUBLE,
+        created      DOUBLE NOT NULL,
+        has_ledger   BOOLEAN NOT NULL DEFAULT FALSE
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS ledgers (
+        run_hash VARCHAR NOT NULL,
+        "round"  BIGINT NOT NULL,
+        messages BIGINT NOT NULL,
+        bits     BIGINT NOT NULL,
+        PRIMARY KEY (run_hash, "round")
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS telemetry (
+        run_hash VARCHAR NOT NULL,
+        key      VARCHAR NOT NULL,
+        value    VARCHAR NOT NULL,
+        created  DOUBLE NOT NULL,
+        PRIMARY KEY (run_hash, key)
+    )
+    """,
+)
+
+
+def duckdb_available() -> bool:
+    """Whether the optional ``duckdb`` package is importable."""
+    try:
+        import duckdb  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+class DuckdbBackend(SqlStoreBackend):
+    """DuckDB-backed run store, selected via ``duckdb://<path>``."""
+
+    scheme = "duckdb"
+    supports_concurrent_instances = False
+
+    def __init__(self, path: os.PathLike | str):
+        try:
+            import duckdb
+        except ImportError:
+            raise RuntimeError(
+                "duckdb:// store selected but the 'duckdb' package is not "
+                "installed; install it (pip install duckdb) or use the "
+                "default sqlite backend"
+            ) from None
+        self.path = Path(path)
+        self._memory = str(path) == ":memory:"
+        if not self._memory:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._root = duckdb.connect(
+            ":memory:" if self._memory else str(self.path))
+        for statement in _SCHEMA_STATEMENTS:
+            self._root.execute(statement)
+        super().__init__()
+
+    def _connect(self):
+        # cursor() duplicates the root connection: same database, own
+        # transaction context — one per thread, handed out by the pool.
+        return self._root.cursor()
+
+    def close(self) -> None:
+        super().close()
+        self._root.close()

@@ -1,0 +1,152 @@
+"""The default run-store backend: stdlib SQLite in WAL mode.
+
+WAL journaling makes concurrent *readers* first-class: a
+``python -m repro runs`` session (or the live progress view) can watch
+a sweep fill in from another process while the coordinator writes.
+Within one process, every thread gets its own connection from the
+shared :class:`~repro.engine.backends.base.ConnectionPool` — SQLite
+connections are not thread-safe, so ``check_same_thread`` stays at its
+strict default of ``True`` for file-backed stores and each connection
+simply never leaves its owning thread.
+
+``:memory:`` stores are the one exception: separate connections to
+``:memory:`` open separate empty databases, so an in-memory store uses
+a single connection created with ``check_same_thread=False`` and a
+lock serializing all access across threads.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+import threading
+from pathlib import Path
+
+from repro.engine.backends.base import SqlStoreBackend
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS runs (
+    hash         TEXT PRIMARY KEY,
+    driver       TEXT NOT NULL,
+    n            INTEGER NOT NULL,
+    f            INTEGER NOT NULL,
+    seed         INTEGER NOT NULL,
+    params       TEXT NOT NULL,
+    code_version TEXT NOT NULL,
+    status       TEXT NOT NULL CHECK (status IN ('ok', 'failed')),
+    row          TEXT,
+    error        TEXT,
+    elapsed      REAL,
+    created      REAL NOT NULL,
+    has_ledger   INTEGER NOT NULL DEFAULT 0
+);
+CREATE INDEX IF NOT EXISTS idx_runs_driver ON runs (driver, n, f, seed);
+CREATE INDEX IF NOT EXISTS idx_runs_created ON runs (created);
+CREATE TABLE IF NOT EXISTS ledgers (
+    run_hash TEXT NOT NULL REFERENCES runs (hash) ON DELETE CASCADE,
+    "round"  INTEGER NOT NULL,
+    messages INTEGER NOT NULL,
+    bits     INTEGER NOT NULL,
+    PRIMARY KEY (run_hash, "round")
+);
+CREATE TABLE IF NOT EXISTS telemetry (
+    run_hash TEXT NOT NULL,
+    key      TEXT NOT NULL,
+    value    TEXT NOT NULL,
+    created  REAL NOT NULL,
+    PRIMARY KEY (run_hash, key)
+);
+"""
+
+
+class _LockedConnection:
+    """A single SQLite connection shared across threads under a lock.
+
+    Only used for ``:memory:`` stores (see the module docstring); the
+    surface is the slice of the DB-API the shared SQL backend uses.
+    """
+
+    def __init__(self, connection: sqlite3.Connection):
+        self._connection = connection
+        self._lock = threading.RLock()
+
+    def execute(self, sql, parameters=()):
+        with self._lock:
+            return self._connection.execute(sql, parameters)
+
+    def close(self) -> None:
+        with self._lock:
+            self._connection.close()
+
+
+class SqliteBackend(SqlStoreBackend):
+    """SQLite-backed run store; the default for bare paths."""
+
+    scheme = "sqlite"
+    supports_concurrent_instances = True
+
+    def __init__(self, path: os.PathLike | str):
+        self.path = Path(path)
+        self._memory = str(path) == ":memory:"
+        self._shared = None
+        if not self._memory:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        super().__init__()
+
+    def _connect(self):
+        if self._memory:
+            # One shared connection: separate :memory: connections would
+            # each open their own empty database.
+            if self._shared is None:
+                connection = sqlite3.connect(
+                    ":memory:", isolation_level=None,
+                    check_same_thread=False,
+                )
+                self._prepare(connection)
+                self._shared = _LockedConnection(connection)
+            return self._shared
+        connection = sqlite3.connect(
+            str(self.path),
+            # Autocommit: transactions are explicit BEGIN/COMMIT in the
+            # shared SQL layer, never sqlite3's implicit ones.
+            isolation_level=None,
+            # Strict per-thread ownership — the pool hands each thread
+            # its own connection, so the default thread check stays on
+            # as a safety net rather than being disabled.
+            check_same_thread=True,
+        )
+        self._prepare(connection)
+        return connection
+
+    def _prepare(self, connection: sqlite3.Connection) -> None:
+        connection.execute("PRAGMA journal_mode=WAL")
+        connection.execute("PRAGMA synchronous=NORMAL")
+        connection.execute("PRAGMA foreign_keys=ON")
+        # Concurrent-writer safety net: WAL readers never block, but a
+        # reader opening its connection while the coordinator holds the
+        # write lock briefly (schema setup, a put) should wait, not
+        # fail with "database is locked".
+        connection.execute("PRAGMA busy_timeout=10000")
+        connection.executescript(_SCHEMA)
+        self._migrate(connection)
+        connection.commit()
+
+    @staticmethod
+    def _migrate(connection: sqlite3.Connection) -> None:
+        """Upgrade stores created before the ``has_ledger`` column.
+
+        Legacy rows could not distinguish "stored without a ledger"
+        from "stored with an empty one"; the backfill marks rows with
+        ledger rows present, the best reconstruction available.
+        """
+        columns = {
+            record[1]
+            for record in connection.execute("PRAGMA table_info(runs)")
+        }
+        if "has_ledger" not in columns:
+            connection.execute(
+                "ALTER TABLE runs"
+                " ADD COLUMN has_ledger INTEGER NOT NULL DEFAULT 0")
+            connection.execute(
+                "UPDATE runs SET has_ledger = EXISTS"
+                " (SELECT 1 FROM ledgers WHERE run_hash = hash)")

@@ -209,12 +209,17 @@ def run_requests(
         for index, hash_ in enumerate(hashes):
             stored = store.get(hash_)
             if stored is not None and stored.ok:
-                messages_per_round, bits_per_round = store.ledger(hash_)
+                # ledger() is None for a run stored without ledgers and
+                # ([], []) for a legitimately zero-round run — the two
+                # must stay distinguishable across a cache round trip.
+                ledger = store.ledger(hash_)
+                messages_per_round, bits_per_round = (
+                    ledger if ledger is not None else (None, None))
                 results[index] = RunResult(
                     request=requests[index], status="ok", row=stored.row,
                     elapsed=stored.elapsed or 0.0, cached=True,
-                    messages_per_round=messages_per_round or None,
-                    bits_per_round=bits_per_round or None,
+                    messages_per_round=messages_per_round,
+                    bits_per_round=bits_per_round,
                     attempts=0,
                 )
                 if obs is not None:
@@ -252,6 +257,32 @@ def run_requests(
                 status=result.status, attempts=result.attempts,
                 elapsed_s=result.elapsed,
             )
+        if store is not None:
+            # One write per unique content hash: followers were
+            # deduplicated *by* that hash, so re-putting per follower
+            # would issue N identical row writes plus N redundant
+            # ledger DELETE round trips.
+            request = requests[index]
+            store.put(
+                hashes[index],
+                driver=request.driver, n=request.n, f=request.f,
+                seed=request.seed, params=request.params_dict(),
+                version=version, status=result.status, row=result.row,
+                error=result.error, elapsed=result.elapsed,
+                messages_per_round=result.messages_per_round,
+                bits_per_round=result.bits_per_round,
+            )
+            if obs is not None:
+                store.put_telemetry(hashes[index], "run", {
+                    "driver": request.driver, "n": request.n,
+                    "f": request.f, "seed": request.seed,
+                    "status": result.status,
+                    "elapsed_s": result.elapsed,
+                    "attempts": result.attempts,
+                    "rounds": (len(result.messages_per_round)
+                               if result.messages_per_round is not None
+                               else None),
+                })
         for target in (index, *followers.get(index, ())):
             results[target] = RunResult(
                 request=requests[target], status=result.status,
@@ -261,27 +292,6 @@ def run_requests(
                 bits_per_round=result.bits_per_round,
                 attempts=result.attempts,
             )
-            if store is not None:
-                request = requests[target]
-                store.put(
-                    hashes[target],
-                    driver=request.driver, n=request.n, f=request.f,
-                    seed=request.seed, params=request.params_dict(),
-                    version=version, status=result.status, row=result.row,
-                    error=result.error, elapsed=result.elapsed,
-                    messages_per_round=result.messages_per_round,
-                    bits_per_round=result.bits_per_round,
-                )
-                if obs is not None:
-                    store.put_telemetry(hashes[target], "run", {
-                        "driver": request.driver, "n": request.n,
-                        "f": request.f, "seed": request.seed,
-                        "status": result.status,
-                        "elapsed_s": result.elapsed,
-                        "attempts": result.attempts,
-                        "rounds": (len(result.messages_per_round)
-                                   if result.messages_per_round else None),
-                    })
             done += 1
 
     if jobs <= 1 or len(unique_pending) <= 1:

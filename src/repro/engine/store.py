@@ -1,4 +1,4 @@
-"""Persistent, content-addressed run store on stdlib SQLite.
+"""Persistent, content-addressed run store — the backend facade.
 
 Every protocol execution is identified by a canonical SHA-256 hash of
 ``(driver, n, f, seed, params, code_version)``.  ``params`` is the
@@ -8,12 +8,12 @@ of the ``repro`` package sources, so editing any algorithm or the cost
 model automatically invalidates old measurements instead of silently
 serving stale rows.
 
-Two tables:
+Three tables (identical across backends):
 
 ``runs``
     One row per execution: the identity fields, status (``ok`` or
     ``failed``), the JSON summary row, the error text for failed runs,
-    and wall-clock timing.
+    wall-clock timing, and whether a per-round ledger was stored.
 
 ``ledgers``
     The per-round ``(messages, bits)`` ledger of each stored run —
@@ -26,66 +26,56 @@ Two tables:
     attached (see :mod:`repro.obs`); ``python -m repro obs report``
     aggregates it.
 
-The store is written only by the coordinating process (workers return
-results over the pool), so WAL mode is plenty for concurrent *readers*
-such as a ``python -m repro runs`` session watching a sweep fill in.
+Storage engines live in :mod:`repro.engine.backends`; this module
+keeps the hashing/identity helpers and :class:`RunStore`, a thin
+facade that resolves a path or ``scheme://path`` URL (``sqlite://``
+default, ``duckdb://`` for analytics) to a backend and delegates the
+whole :class:`~repro.engine.backends.base.StoreBackend` contract to
+it.  The store is written only by the coordinating process (workers
+return results over the pool); concurrent readers — another thread
+via the per-thread connection pool, or for SQLite/WAL a whole other
+process such as a ``python -m repro runs`` session watching a sweep
+fill in — are first-class.
 """
 
 from __future__ import annotations
 
 import hashlib
-import json
 import os
-import sqlite3
-import time
-from dataclasses import dataclass
 from functools import lru_cache
 from pathlib import Path
 from typing import Optional, Sequence
 
-#: Environment variable overriding the default store location.
+from repro.engine.backends import StoreBackend, open_backend, parse_store_url
+from repro.engine.backends.base import StoredRun, canonical_json
+
+__all__ = [
+    "DEFAULT_STORE",
+    "STORE_ENV",
+    "RunStore",
+    "StoredRun",
+    "canonical_json",
+    "code_version",
+    "default_store_path",
+    "run_hash",
+]
+
+#: Environment variable overriding the default store location; accepts
+#: a bare path or a ``scheme://path`` URL.
 STORE_ENV = "REPRO_STORE"
 
 #: Default store path, relative to the current working directory.
 DEFAULT_STORE = ".repro/runs.sqlite"
 
-_SCHEMA = """
-CREATE TABLE IF NOT EXISTS runs (
-    hash         TEXT PRIMARY KEY,
-    driver       TEXT NOT NULL,
-    n            INTEGER NOT NULL,
-    f            INTEGER NOT NULL,
-    seed         INTEGER NOT NULL,
-    params       TEXT NOT NULL,
-    code_version TEXT NOT NULL,
-    status       TEXT NOT NULL CHECK (status IN ('ok', 'failed')),
-    row          TEXT,
-    error        TEXT,
-    elapsed      REAL,
-    created      REAL NOT NULL
-);
-CREATE INDEX IF NOT EXISTS idx_runs_driver ON runs (driver, n, f, seed);
-CREATE INDEX IF NOT EXISTS idx_runs_created ON runs (created);
-CREATE TABLE IF NOT EXISTS ledgers (
-    run_hash TEXT NOT NULL REFERENCES runs (hash) ON DELETE CASCADE,
-    round    INTEGER NOT NULL,
-    messages INTEGER NOT NULL,
-    bits     INTEGER NOT NULL,
-    PRIMARY KEY (run_hash, round)
-);
-CREATE TABLE IF NOT EXISTS telemetry (
-    run_hash TEXT NOT NULL,
-    key      TEXT NOT NULL,
-    value    TEXT NOT NULL,
-    created  REAL NOT NULL,
-    PRIMARY KEY (run_hash, key)
-);
-"""
 
+def default_store_path() -> str:
+    """``$REPRO_STORE`` if set, else ``.repro/runs.sqlite`` under cwd.
 
-def default_store_path() -> Path:
-    """``$REPRO_STORE`` if set, else ``.repro/runs.sqlite`` under cwd."""
-    return Path(os.environ.get(STORE_ENV, DEFAULT_STORE))
+    The value may be a ``scheme://path`` URL, so it is returned as a
+    string — wrapping it in :class:`~pathlib.Path` would collapse the
+    ``//``.
+    """
+    return os.environ.get(STORE_ENV, DEFAULT_STORE)
 
 
 @lru_cache(maxsize=1)
@@ -106,11 +96,6 @@ def code_version() -> str:
         digest.update(path.read_bytes())
         digest.update(b"\0")
     return digest.hexdigest()[:16]
-
-
-def canonical_json(value: object) -> str:
-    """Deterministic JSON: sorted keys, no whitespace variance."""
-    return json.dumps(value, sort_keys=True, separators=(",", ":"))
 
 
 def run_hash(
@@ -135,52 +120,40 @@ def run_hash(
     return hashlib.sha256(key.encode()).hexdigest()
 
 
-@dataclass
-class StoredRun:
-    """One persisted execution, decoded from the ``runs`` table."""
-
-    hash: str
-    driver: str
-    n: int
-    f: int
-    seed: int
-    params: dict
-    code_version: str
-    status: str
-    row: Optional[dict]
-    error: Optional[str]
-    elapsed: Optional[float]
-    created: float
-
-    @property
-    def ok(self) -> bool:
-        return self.status == "ok"
-
-
 class RunStore:
-    """SQLite-backed run cache.  Open with a path; close when done.
+    """Run cache facade: open with a path or URL; close when done.
 
-    Usable as a context manager::
+    ``RunStore(".repro/runs.sqlite")`` keeps the historical behaviour
+    (SQLite, WAL); ``RunStore("duckdb://runs.duckdb")`` selects the
+    analytics backend.  Usable as a context manager::
 
         with RunStore(".repro/runs.sqlite") as store:
             store.get(some_hash)
+
+    An already-open :class:`~repro.engine.backends.StoreBackend` can be
+    wrapped directly via ``backend=``.
     """
 
-    def __init__(self, path: os.PathLike | str):
-        self.path = Path(path)
-        if str(self.path) != ":memory:":
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._conn = sqlite3.connect(str(self.path))
-        self._conn.execute("PRAGMA journal_mode=WAL")
-        self._conn.execute("PRAGMA synchronous=NORMAL")
-        self._conn.execute("PRAGMA foreign_keys=ON")
-        self._conn.executescript(_SCHEMA)
-        self._conn.commit()
+    def __init__(self, path: os.PathLike | str = DEFAULT_STORE,
+                 backend: Optional[StoreBackend] = None):
+        self._backend = open_backend(path) if backend is None else backend
+
+    @property
+    def path(self) -> Path:
+        return self._backend.path
+
+    @property
+    def backend(self) -> StoreBackend:
+        return self._backend
+
+    @property
+    def scheme(self) -> str:
+        return self._backend.scheme
 
     # -- lifecycle ----------------------------------------------------
 
     def close(self) -> None:
-        self._conn.close()
+        self._backend.close()
 
     def __enter__(self) -> "RunStore":
         return self
@@ -188,199 +161,49 @@ class RunStore:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    # -- writes -------------------------------------------------------
+    # -- delegated contract -------------------------------------------
 
-    def put(
-        self,
-        hash_: str,
-        *,
-        driver: str,
-        n: int,
-        f: int,
-        seed: int,
-        params: object,
-        version: str,
-        status: str,
-        row: Optional[dict] = None,
-        error: Optional[str] = None,
-        elapsed: Optional[float] = None,
-        messages_per_round: Optional[Sequence[int]] = None,
-        bits_per_round: Optional[Sequence[int]] = None,
-    ) -> None:
-        """Insert or replace one run (and its per-round ledgers)."""
-        params_map = dict(params) if not isinstance(params, dict) else params
-        with self._conn:
-            self._conn.execute(
-                "INSERT OR REPLACE INTO runs"
-                " (hash, driver, n, f, seed, params, code_version,"
-                "  status, row, error, elapsed, created)"
-                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
-                (
-                    hash_, driver, n, f, seed,
-                    canonical_json(params_map), version, status,
-                    # Row keys keep insertion order (not canonical_json):
-                    # table columns come from the first row, so a cached
-                    # row must render byte-identically to a fresh one.
-                    json.dumps(row) if row is not None else None,
-                    error, elapsed, time.time(),
-                ),
-            )
-            self._conn.execute("DELETE FROM ledgers WHERE run_hash = ?",
-                               (hash_,))
-            if messages_per_round is not None and bits_per_round is not None:
-                self._conn.executemany(
-                    "INSERT INTO ledgers (run_hash, round, messages, bits)"
-                    " VALUES (?, ?, ?, ?)",
-                    [
-                        (hash_, round_no + 1, messages, bits)
-                        for round_no, (messages, bits) in enumerate(
-                            zip(messages_per_round, bits_per_round)
-                        )
-                    ],
-                )
+    def put(self, hash_: str, *, driver: str, n: int, f: int, seed: int,
+            params: object, version: str, status: str,
+            row: Optional[dict] = None, error: Optional[str] = None,
+            elapsed: Optional[float] = None,
+            messages_per_round: Optional[Sequence[int]] = None,
+            bits_per_round: Optional[Sequence[int]] = None) -> None:
+        self._backend.put(
+            hash_, driver=driver, n=n, f=f, seed=seed, params=params,
+            version=version, status=status, row=row, error=error,
+            elapsed=elapsed, messages_per_round=messages_per_round,
+            bits_per_round=bits_per_round,
+        )
 
     def put_telemetry(self, hash_: str, key: str, value: object) -> None:
-        """Attach one observability row to a run hash.
-
-        ``value`` is any JSON-serializable object; re-putting the same
-        ``(hash, key)`` replaces the previous value.
-        """
-        with self._conn:
-            self._conn.execute(
-                "INSERT OR REPLACE INTO telemetry"
-                " (run_hash, key, value, created) VALUES (?, ?, ?, ?)",
-                (hash_, key, canonical_json(value), time.time()),
-            )
+        self._backend.put_telemetry(hash_, key, value)
 
     def delete(self, hash_: str) -> None:
-        with self._conn:
-            self._conn.execute("DELETE FROM ledgers WHERE run_hash = ?",
-                               (hash_,))
-            self._conn.execute("DELETE FROM telemetry WHERE run_hash = ?",
-                               (hash_,))
-            self._conn.execute("DELETE FROM runs WHERE hash = ?", (hash_,))
+        self._backend.delete(hash_)
 
     def clear(self) -> None:
-        with self._conn:
-            self._conn.execute("DELETE FROM ledgers")
-            self._conn.execute("DELETE FROM telemetry")
-            self._conn.execute("DELETE FROM runs")
-
-    # -- reads --------------------------------------------------------
-
-    @staticmethod
-    def _decode(record: tuple) -> StoredRun:
-        (hash_, driver, n, f, seed, params, version, status, row, error,
-         elapsed, created) = record
-        return StoredRun(
-            hash=hash_, driver=driver, n=n, f=f, seed=seed,
-            params=json.loads(params), code_version=version, status=status,
-            row=json.loads(row) if row is not None else None,
-            error=error, elapsed=elapsed, created=created,
-        )
-
-    _COLUMNS = ("hash, driver, n, f, seed, params, code_version, status,"
-                " row, error, elapsed, created")
+        self._backend.clear()
 
     def get(self, hash_: str) -> Optional[StoredRun]:
-        cursor = self._conn.execute(
-            f"SELECT {self._COLUMNS} FROM runs WHERE hash = ?", (hash_,)
-        )
-        record = cursor.fetchone()
-        return self._decode(record) if record else None
+        return self._backend.get(hash_)
 
-    def ledger(self, hash_: str) -> tuple[list[int], list[int]]:
-        """``(messages_per_round, bits_per_round)`` of one stored run."""
-        cursor = self._conn.execute(
-            "SELECT messages, bits FROM ledgers WHERE run_hash = ?"
-            " ORDER BY round", (hash_,)
-        )
-        records = cursor.fetchall()
-        return ([m for m, _ in records], [b for _, b in records])
+    def ledger(self, hash_: str) -> Optional[tuple[list[int], list[int]]]:
+        return self._backend.ledger(hash_)
 
-    def query(
-        self,
-        *,
-        driver: Optional[str] = None,
-        n: Optional[int] = None,
-        f: Optional[int] = None,
-        seed: Optional[int] = None,
-        status: Optional[str] = None,
-        current_version_only: bool = False,
-        limit: Optional[int] = None,
-    ) -> list[StoredRun]:
-        """Stored runs matching the given filters, oldest first."""
-        clauses, values = [], []
-        for column, value in (("driver", driver), ("n", n), ("f", f),
-                              ("seed", seed), ("status", status)):
-            if value is not None:
-                clauses.append(f"{column} = ?")
-                values.append(value)
-        if current_version_only:
-            clauses.append("code_version = ?")
-            values.append(code_version())
-        sql = f"SELECT {self._COLUMNS} FROM runs"
-        if clauses:
-            sql += " WHERE " + " AND ".join(clauses)
-        sql += " ORDER BY created, hash"
-        if limit is not None:
-            sql += " LIMIT ?"
-            values.append(limit)
-        return [self._decode(r) for r in self._conn.execute(sql, values)]
+    def query(self, **filters) -> list[StoredRun]:
+        return self._backend.query(**filters)
 
     def telemetry(self, hash_: str) -> dict:
-        """All telemetry rows of one run, as ``{key: decoded value}``."""
-        return {
-            key: json.loads(value)
-            for key, value in self._conn.execute(
-                "SELECT key, value FROM telemetry WHERE run_hash = ?"
-                " ORDER BY key", (hash_,)
-            )
-        }
+        return self._backend.telemetry(hash_)
 
-    def telemetry_rows(
-        self, *, key: Optional[str] = None, driver: Optional[str] = None,
-        limit: Optional[int] = None,
-    ) -> list[tuple[str, str, dict]]:
-        """``(run_hash, key, value)`` telemetry rows, oldest first.
-
-        ``driver`` filters through the ``runs`` table; telemetry whose
-        run row is gone still matches when ``driver`` is ``None``.
-        """
-        clauses, values = [], []
-        sql = ("SELECT t.run_hash, t.key, t.value FROM telemetry t")
-        if driver is not None:
-            sql += " JOIN runs r ON r.hash = t.run_hash"
-            clauses.append("r.driver = ?")
-            values.append(driver)
-        if key is not None:
-            clauses.append("t.key = ?")
-            values.append(key)
-        if clauses:
-            sql += " WHERE " + " AND ".join(clauses)
-        sql += " ORDER BY t.created, t.run_hash, t.key"
-        if limit is not None:
-            sql += " LIMIT ?"
-            values.append(limit)
-        return [
-            (hash_, key_, json.loads(value))
-            for hash_, key_, value in self._conn.execute(sql, values)
-        ]
+    def telemetry_rows(self, **filters) -> list[tuple[str, str, dict]]:
+        return self._backend.telemetry_rows(**filters)
 
     def stats(self) -> dict:
-        """Aggregate counts for the CLI footer."""
-        total, ok, failed = self._conn.execute(
-            "SELECT COUNT(*),"
-            " SUM(CASE WHEN status = 'ok' THEN 1 ELSE 0 END),"
-            " SUM(CASE WHEN status = 'failed' THEN 1 ELSE 0 END)"
-            " FROM runs"
-        ).fetchone()
-        drivers = [d for (d,) in self._conn.execute(
-            "SELECT DISTINCT driver FROM runs ORDER BY driver")]
-        return {
-            "total": total or 0,
-            "ok": ok or 0,
-            "failed": failed or 0,
-            "drivers": drivers,
-            "path": str(self.path),
-        }
+        return self._backend.stats()
+
+
+# Re-exported for callers that treat the module as the one-stop store
+# API (the CLI, tests, and the export path all resolve URLs through it).
+__all__ += ["open_backend", "parse_store_url"]

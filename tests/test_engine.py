@@ -99,7 +99,78 @@ class TestStore:
 
     def test_missing_is_none(self, store):
         assert store.get("nope") is None
-        assert store.ledger("nope") == ([], [])
+        assert store.ledger("nope") is None
+
+    def test_empty_ledger_distinct_from_no_ledger(self, store):
+        # A zero-round run stored with an *empty* ledger must not decay
+        # into "stored without ledgers" across a round trip.
+        store.put("zero", driver="crash", n=1, f=0, seed=0, params={},
+                  version="v", status="ok", row={"messages": 0},
+                  messages_per_round=[], bits_per_round=[])
+        store.put("bare", driver="crash", n=1, f=0, seed=1, params={},
+                  version="v", status="ok", row={"messages": 0})
+        assert store.ledger("zero") == ([], [])
+        assert store.ledger("bare") is None
+        assert store.get("zero").has_ledger
+        assert not store.get("bare").has_ledger
+
+    def test_put_rejects_lone_ledger_side(self, store):
+        with pytest.raises(ValueError, match="h1.*bits_per_round"):
+            store.put("h1", driver="crash", n=8, f=1, seed=0, params={},
+                      version="v", status="ok", row={},
+                      messages_per_round=[3, 4])
+        with pytest.raises(ValueError, match="h1.*messages_per_round"):
+            store.put("h1", driver="crash", n=8, f=1, seed=0, params={},
+                      version="v", status="ok", row={},
+                      bits_per_round=[30, 40])
+        # Nothing was silently stored without its ledger.
+        assert store.get("h1") is None
+
+    def test_put_rejects_ledger_length_mismatch(self, store):
+        with pytest.raises(ValueError, match="h1.*length mismatch"):
+            store.put("h1", driver="crash", n=8, f=1, seed=0, params={},
+                      version="v", status="ok", row={},
+                      messages_per_round=[3, 4, 5], bits_per_round=[30])
+        assert store.get("h1") is None
+
+    def test_legacy_store_without_has_ledger_migrates(self, tmp_path):
+        import sqlite3
+
+        path = tmp_path / "legacy.sqlite"
+        connection = sqlite3.connect(path)
+        connection.executescript("""
+            CREATE TABLE runs (
+                hash TEXT PRIMARY KEY, driver TEXT NOT NULL,
+                n INTEGER NOT NULL, f INTEGER NOT NULL,
+                seed INTEGER NOT NULL, params TEXT NOT NULL,
+                code_version TEXT NOT NULL, status TEXT NOT NULL,
+                row TEXT, error TEXT, elapsed REAL, created REAL NOT NULL
+            );
+            CREATE TABLE ledgers (
+                run_hash TEXT NOT NULL, round INTEGER NOT NULL,
+                messages INTEGER NOT NULL, bits INTEGER NOT NULL,
+                PRIMARY KEY (run_hash, round)
+            );
+            CREATE TABLE telemetry (
+                run_hash TEXT NOT NULL, key TEXT NOT NULL,
+                value TEXT NOT NULL, created REAL NOT NULL,
+                PRIMARY KEY (run_hash, key)
+            );
+            INSERT INTO runs VALUES
+                ('with', 'crash', 8, 1, 0, '{}', 'v', 'ok',
+                 '{"messages": 7}', NULL, 0.1, 1.0),
+                ('without', 'crash', 8, 1, 1, '{}', 'v', 'ok',
+                 '{"messages": 7}', NULL, 0.1, 2.0);
+            INSERT INTO ledgers VALUES ('with', 1, 3, 30), ('with', 2, 4, 40);
+        """)
+        connection.commit()
+        connection.close()
+
+        with RunStore(path) as migrated:
+            assert migrated.ledger("with") == ([3, 4], [30, 40])
+            assert migrated.ledger("without") is None
+            assert migrated.get("with").has_ledger
+            assert not migrated.get("without").has_ledger
 
     def test_failed_runs_and_query_filters(self, store):
         store.put("ok1", driver="crash", n=8, f=1, seed=0, params={},
@@ -177,6 +248,65 @@ class TestExecution:
 
 def _boom_driver(n, f, seed, include_rounds=False, **params):
     raise RuntimeError("deliberate failure")
+
+
+def _zero_rounds_driver(n, f, seed, include_rounds=False, **params):
+    # A legitimately zero-round run: the ledger exists and is empty.
+    return {"messages": 0, "messages_per_round": [], "bits_per_round": []}
+
+
+def _ledgerless_driver(n, f, seed, include_rounds=False, **params):
+    return {"messages": 5}
+
+
+class TestSettleLedgerIntegrity:
+    def test_duplicate_requests_write_store_once(self, store):
+        puts = []
+        real_put = store.put
+
+        def counting_put(*args, **kwargs):
+            puts.append(args)
+            return real_put(*args, **kwargs)
+
+        store.put = counting_put
+        request = RunRequest.make("crash", 6, 1, 0)
+        results = run_requests([request] * 4, store=store)
+        # K deduplicated followers share one content hash: one backend
+        # write, not K identical writes + K ledger DELETE round trips.
+        assert len(puts) == 1
+        assert all(result.ok and not result.cached for result in results)
+        assert [r.row for r in results] == [results[0].row] * 4
+        assert all(r.messages_per_round == results[0].messages_per_round
+                   for r in results)
+        # And the store round trip still serves every duplicate.
+        del store.put
+        cached = run_requests([request] * 4, store=store)
+        assert all(result.cached for result in cached)
+        assert [r.row for r in cached] == [r.row for r in results]
+
+    def test_empty_ledger_survives_cache_round_trip(self, store):
+        register_driver("zero-rounds", _zero_rounds_driver)
+        register_driver("ledgerless", _ledgerless_driver)
+        try:
+            requests = [RunRequest.make("zero-rounds", 4, 0, 0),
+                        RunRequest.make("ledgerless", 4, 0, 0)]
+            fresh = run_requests(requests, store=store)
+            assert fresh[0].messages_per_round == []
+            assert fresh[0].bits_per_round == []
+            assert fresh[1].messages_per_round is None
+            assert fresh[1].bits_per_round is None
+
+            cached = run_requests(requests, store=store)
+            assert all(result.cached for result in cached)
+            # [] stays [] and None stays None — a zero-round run is not
+            # conflated with a run stored without ledgers.
+            assert cached[0].messages_per_round == []
+            assert cached[0].bits_per_round == []
+            assert cached[1].messages_per_round is None
+            assert cached[1].bits_per_round is None
+        finally:
+            DRIVERS.pop("zero-rounds", None)
+            DRIVERS.pop("ledgerless", None)
 
 
 class TestCli:

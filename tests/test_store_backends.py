@@ -1,0 +1,313 @@
+"""Backend-conformance suite: one store contract, every backend.
+
+Every test in :class:`TestBackendContract` runs against each backend
+reported by :func:`available_backend_schemes` — SQLite always, DuckDB
+when the optional package is installed (the CI matrix has one leg with
+it and one without).  Adding a backend means adding its scheme to
+``BACKEND_SCHEMES``; this suite then pins its semantics for free.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.engine.backends import (
+    available_backend_schemes,
+    duckdb_available,
+    open_backend,
+    parse_store_url,
+)
+from repro.engine.store import RunStore, code_version, run_hash
+
+SCHEMES = available_backend_schemes()
+
+_EXTENSIONS = {"sqlite": "sqlite", "duckdb": "duckdb"}
+
+
+def put_run(store, hash_, *, driver="crash", n=8, f=2, seed=0, params=None,
+            version="v1", status="ok", row=None, **kwargs):
+    store.put(
+        hash_, driver=driver, n=n, f=f, seed=seed,
+        params={} if params is None else params, version=version,
+        status=status, row=row, **kwargs,
+    )
+
+
+@pytest.fixture(params=SCHEMES)
+def store(request, tmp_path):
+    extension = _EXTENSIONS[request.param]
+    url = f"{request.param}://{tmp_path}/runs.{extension}"
+    with RunStore(url) as opened:
+        yield opened
+
+
+class TestStoreUrls:
+    def test_bare_path_is_sqlite(self):
+        assert parse_store_url(".repro/runs.sqlite") == (
+            "sqlite", ".repro/runs.sqlite")
+
+    def test_pathlike_accepted(self):
+        scheme, path = parse_store_url(Path("/tmp/x/runs.sqlite"))
+        assert scheme == "sqlite"
+        assert path == "/tmp/x/runs.sqlite"
+
+    def test_explicit_sqlite_url(self):
+        assert parse_store_url("sqlite:///abs/runs.sqlite") == (
+            "sqlite", "/abs/runs.sqlite")
+        assert parse_store_url("SQLITE://rel/runs.sqlite") == (
+            "sqlite", "rel/runs.sqlite")
+
+    def test_duckdb_url_parses_without_package(self):
+        # Parsing never imports the backend; only opening does.
+        assert parse_store_url("duckdb://runs.duckdb") == (
+            "duckdb", "runs.duckdb")
+
+    def test_unknown_scheme_is_an_error(self):
+        with pytest.raises(ValueError, match="unknown run-store scheme"):
+            parse_store_url("postgres://runs")
+
+    def test_missing_path_is_an_error(self):
+        with pytest.raises(ValueError, match="missing a path"):
+            parse_store_url("sqlite://")
+
+    def test_available_schemes_track_duckdb(self):
+        schemes = available_backend_schemes()
+        assert schemes[0] == "sqlite"
+        assert ("duckdb" in schemes) == duckdb_available()
+
+    @pytest.mark.skipif(duckdb_available(),
+                        reason="duckdb installed; error path unreachable")
+    def test_duckdb_url_without_package_fails_cleanly(self, tmp_path):
+        with pytest.raises(RuntimeError, match="pip install duckdb"):
+            open_backend(f"duckdb://{tmp_path}/runs.duckdb")
+
+    def test_runstore_reports_scheme_and_path(self, tmp_path):
+        with RunStore(f"sqlite://{tmp_path}/runs.sqlite") as opened:
+            assert opened.scheme == "sqlite"
+            assert opened.path == tmp_path / "runs.sqlite"
+
+
+class TestBackendContract:
+    def test_put_get_round_trip(self, store):
+        row = {"messages": 12, "outcome": "safe_terminated", "ratio": 1.5}
+        put_run(store, "h1", n=16, f=4, seed=7,
+                params={"b": 2, "a": 1}, row=row, elapsed=0.25)
+        run = store.get("h1")
+        assert run is not None
+        assert (run.hash, run.driver, run.n, run.f, run.seed) == (
+            "h1", "crash", 16, 4, 7)
+        assert run.params == {"a": 1, "b": 2}
+        assert run.code_version == "v1"
+        assert run.ok and run.status == "ok"
+        assert run.row == row
+        assert run.error is None
+        assert run.elapsed == 0.25
+        assert run.has_ledger is False
+        assert store.get("missing") is None
+
+    def test_put_replaces_row_and_ledger(self, store):
+        put_run(store, "h1", row={"messages": 1},
+                messages_per_round=[1, 2, 3], bits_per_round=[10, 20, 30])
+        put_run(store, "h1", row={"messages": 2},
+                messages_per_round=[5], bits_per_round=[50])
+        assert len(store.query()) == 1
+        assert store.get("h1").row == {"messages": 2}
+        assert store.ledger("h1") == ([5], [50])
+
+    def test_failed_run_round_trip(self, store):
+        put_run(store, "bad", status="failed", error="boom", row=None)
+        run = store.get("bad")
+        assert not run.ok
+        assert run.error == "boom"
+        assert run.row is None
+
+    def test_ledger_preserves_round_order(self, store):
+        messages, bits = [7, 3, 9, 1], [70, 30, 90, 10]
+        put_run(store, "h1", messages_per_round=messages,
+                bits_per_round=bits)
+        assert store.ledger("h1") == (messages, bits)
+
+    def test_empty_ledger_distinct_from_missing(self, store):
+        put_run(store, "zero", messages_per_round=[], bits_per_round=[])
+        put_run(store, "none")
+        assert store.ledger("zero") == ([], [])
+        assert store.ledger("none") is None
+        assert store.ledger("absent") is None
+        assert store.get("zero").has_ledger is True
+        assert store.get("none").has_ledger is False
+
+    def test_lone_ledger_side_is_rejected(self, store):
+        with pytest.raises(ValueError,
+                           match="h1.*messages_per_round given without"):
+            put_run(store, "h1", messages_per_round=[1])
+        with pytest.raises(ValueError,
+                           match="h1.*bits_per_round given without"):
+            put_run(store, "h1", bits_per_round=[1])
+        assert store.get("h1") is None
+
+    def test_ledger_length_mismatch_is_rejected(self, store):
+        with pytest.raises(ValueError, match="h1.*length mismatch"):
+            put_run(store, "h1", messages_per_round=[1, 2],
+                    bits_per_round=[10])
+        assert store.get("h1") is None
+
+    def test_content_hash_round_trip(self, store):
+        hash_ = run_hash("crash", 8, 2, 0, {"adversary": "hunter"}, "v1")
+        put_run(store, hash_, params={"adversary": "hunter"},
+                row={"messages": 3})
+        assert store.get(hash_).row == {"messages": 3}
+        assert run_hash("crash", 8, 2, 0, {"adversary": "hunter"},
+                        "v2") != hash_
+
+    def test_telemetry_replace_semantics(self, store):
+        put_run(store, "h1")
+        store.put_telemetry("h1", "timing", {"elapsed": 1.0})
+        store.put_telemetry("h1", "timing", {"elapsed": 2.0})
+        store.put_telemetry("h1", "retries", 3)
+        assert store.telemetry("h1") == {
+            "timing": {"elapsed": 2.0}, "retries": 3}
+        rows = store.telemetry_rows(key="timing")
+        assert rows == [("h1", "timing", {"elapsed": 2.0})]
+
+    def test_telemetry_rows_driver_filter(self, store):
+        put_run(store, "c1", driver="crash")
+        put_run(store, "b1", driver="byzantine")
+        store.put_telemetry("c1", "k", 1)
+        store.put_telemetry("b1", "k", 2)
+        assert store.telemetry_rows(driver="byzantine") == [("b1", "k", 2)]
+        assert len(store.telemetry_rows()) == 2
+        assert store.telemetry("nope") == {}
+
+    def test_query_filters_and_order(self, store):
+        put_run(store, "a", driver="crash", n=8, f=2, seed=0)
+        put_run(store, "b", driver="crash", n=16, f=4, seed=1)
+        put_run(store, "c", driver="byzantine", n=8, f=2, seed=0,
+                status="failed", error="x")
+        runs = store.query()
+        assert [r.hash for r in runs] == [
+            h for _, h in sorted((r.created, r.hash) for r in runs)]
+        assert {r.hash for r in store.query(driver="crash")} == {"a", "b"}
+        assert [r.hash for r in store.query(n=8, f=2, seed=0,
+                                            status="ok")] == ["a"]
+        assert len(store.query(limit=2)) == 2
+        assert store.query(driver="gossip") == []
+
+    def test_query_current_version_only(self, store):
+        put_run(store, "old", version="0123456789abcdef")
+        put_run(store, "new", version=code_version())
+        assert [r.hash for r in store.query(current_version_only=True)] == [
+            "new"]
+        assert len(store.query()) == 2
+
+    def test_stats(self, store):
+        assert store.stats()["total"] == 0
+        put_run(store, "a", driver="crash")
+        put_run(store, "b", driver="byzantine", status="failed", error="x")
+        stats = store.stats()
+        assert stats["total"] == 2
+        assert stats["ok"] == 1
+        assert stats["failed"] == 1
+        assert stats["drivers"] == ["byzantine", "crash"]
+        assert str(store.path) in stats["path"]
+
+    def test_delete_removes_everything(self, store):
+        put_run(store, "h1", messages_per_round=[1], bits_per_round=[10])
+        store.put_telemetry("h1", "k", 1)
+        put_run(store, "h2")
+        store.delete("h1")
+        assert store.get("h1") is None
+        assert store.ledger("h1") is None
+        assert store.telemetry("h1") == {}
+        assert store.get("h2") is not None
+        store.delete("h1")  # idempotent
+
+    def test_clear(self, store):
+        put_run(store, "h1", messages_per_round=[1], bits_per_round=[10])
+        store.put_telemetry("h1", "k", 1)
+        store.clear()
+        assert store.stats()["total"] == 0
+        assert store.query() == []
+        assert store.telemetry_rows() == []
+
+    def test_concurrent_thread_readers(self, store):
+        """Reader threads on the same store object see committed puts."""
+        total = 24
+        errors: list[BaseException] = []
+        final_counts: list[int] = []
+        deadline = time.monotonic() + 60
+
+        def reader():
+            try:
+                while time.monotonic() < deadline:
+                    runs = store.query(driver="conc")
+                    for run in runs:
+                        assert store.ledger(run.hash) == ([1, 2], [10, 20])
+                    if len(runs) == total:
+                        final_counts.append(len(runs))
+                        return
+                final_counts.append(len(store.query(driver="conc")))
+            except BaseException as exc:  # surfaced in the main thread
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        for index in range(total):
+            put_run(store, f"conc{index:02d}", driver="conc", seed=index,
+                    messages_per_round=[1, 2], bits_per_round=[10, 20])
+        for thread in threads:
+            thread.join(timeout=90)
+        assert not errors, errors
+        assert final_counts == [total, total, total]
+
+    def test_concurrent_process_reader(self, store):
+        """A second process sweeps while this one polls the same store."""
+        if not store.backend.supports_concurrent_instances:
+            pytest.skip(f"{store.scheme} locks the store file per process")
+        url = f"{store.scheme}://{store.path}"
+        src = str(Path(repro.__file__).resolve().parents[1])
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (src, env.get("PYTHONPATH")) if p)
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "sweep", "--driver", "crash",
+             "--n", "6", "--seeds", "0-1", "--f", "1", "--store", url],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, env=env,
+            text=True,
+        )
+        observed = 0
+        try:
+            # Poll the live store from this process while the sweep
+            # writes from the other one.
+            while process.poll() is None:
+                observed = max(observed, store.stats()["total"])
+                time.sleep(0.05)
+        finally:
+            stdout, stderr = process.communicate(timeout=300)
+        assert process.returncode == 0, stderr
+        runs = store.query(driver="crash")
+        assert len(runs) == 2
+        assert all(run.ok for run in runs)
+        assert all(store.ledger(run.hash) is not None for run in runs)
+        assert observed <= 2
+        assert "2 cached" in subprocess.run(
+            [sys.executable, "-m", "repro", "sweep", "--driver", "crash",
+             "--n", "6", "--seeds", "0-1", "--f", "1", "--store", url],
+            capture_output=True, env=env, text=True, check=True,
+        ).stderr
+
+
+class TestClosedStore:
+    def test_use_after_close_is_an_error(self, tmp_path):
+        store = RunStore(f"sqlite://{tmp_path}/runs.sqlite")
+        store.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            store.query()
