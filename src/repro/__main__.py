@@ -23,6 +23,11 @@ Examples::
     python -m repro obs profile --scenario crash --n 32 --f 4
     python -m repro obs tail events.jsonl --last 20
     python -m repro obs report --driver crash
+    python -m repro fabric enqueue --driver crash --n 16,32 --seeds 0-4 --campaign night
+    python -m repro fabric work --campaign night --workers 4
+    python -m repro fabric status
+    python -m repro fabric resume --campaign night --workers 2
+    python -m repro report --live
 """
 
 from __future__ import annotations
@@ -525,7 +530,7 @@ def cmd_runs(args: argparse.Namespace) -> int:
                         "code_version": run.code_version,
                         "status": run.status, "row": run.row,
                         "error": run.error, "elapsed": run.elapsed,
-                        "created": run.created,
+                        "created": run.created, "attempts": run.attempts,
                         "ledger": _ledger_json(store, run, args.ledgers),
                     }
                     for run in stored
@@ -548,6 +553,7 @@ def cmd_runs(args: argparse.Namespace) -> int:
                     "rounds": (run.row or {}).get("rounds"),
                     "messages": (run.row or {}).get("messages"),
                     "bits": (run.row or {}).get("bits"),
+                    "attempts": run.attempts,
                     "elapsed_s": round(run.elapsed or 0.0, 3),
                     "created": datetime.fromtimestamp(
                         run.created, tz=timezone.utc
@@ -591,6 +597,167 @@ def cmd_runs_export(args: argparse.Namespace) -> int:
     print(f"\nexported {exported} runs (+ ledgers, telemetry) as "
           f"{'/'.join(formats)} under {args.out}", file=sys.stderr)
     return 0
+
+
+def _store_url(args) -> str:
+    from repro.engine.backends import resolve_store_url
+    from repro.engine.store import default_store_path
+
+    try:
+        return resolve_store_url(
+            args.store if args.store else default_store_path())
+    except (ValueError, RuntimeError) as error:
+        raise SystemExit(f"python -m repro: {error}") from None
+
+
+def cmd_fabric(args: argparse.Namespace) -> int:
+    handler = {
+        "enqueue": _fabric_enqueue,
+        "work": _fabric_work,
+        "status": _fabric_status,
+        "resume": _fabric_resume,
+    }[args.fabric_command]
+    return handler(args)
+
+
+def _fabric_enqueue(args: argparse.Namespace) -> int:
+    """Fan a sweep out as leasable tasks in the store's queue."""
+    from repro.engine.fabric import enqueue_campaign
+    from repro.engine.sweeps import SweepSpec
+
+    try:
+        spec = SweepSpec.make(
+            args.driver,
+            parse_int_list(args.n),
+            parse_int_list(args.seeds),
+            f=args.f,
+            **_parse_params(args.param),
+        )
+        requests = spec.requests()
+    except (TypeError, ValueError) as error:
+        raise SystemExit(f"python -m repro fabric enqueue: error: {error}")
+    url = _store_url(args)
+    total, new = enqueue_campaign(url, args.campaign, requests,
+                                  events_dir=args.events)
+    print(f"campaign {args.campaign!r}: {total} tasks ({new} new, "
+          f"{total - new} already enqueued)  [store: {url}]")
+    return 0
+
+
+def _fabric_config(args: argparse.Namespace):
+    from repro.engine.fabric import FabricConfig
+
+    try:
+        return FabricConfig(
+            store=_store_url(args),
+            campaign=args.campaign,
+            lease_ttl=args.lease_ttl,
+            task_timeout=args.timeout,
+            max_task_attempts=args.max_attempts,
+            forever=getattr(args, "forever", False),
+            events_dir=args.events,
+        )
+    except ValueError as error:
+        raise SystemExit(f"python -m repro fabric: error: {error}")
+
+
+def _print_worker_summaries(summaries: list[dict]) -> int:
+    crashed = 0
+    for summary in summaries:
+        line = (f"worker {summary['worker']}: {summary['reason']} — "
+                f"{summary['settled']} settled, {summary['failed']} failed, "
+                f"{summary['cached']} cached, "
+                f"{summary['leases_lost']} leases lost")
+        if summary.get("events"):
+            line += f"  [events: {summary['events']}]"
+        print(line, file=sys.stderr)
+        crashed += summary["reason"] not in ("drained", "sigterm", "stopped")
+    return 1 if crashed else 0
+
+
+def _fabric_work(args: argparse.Namespace) -> int:
+    """Run worker processes until the campaign drains (or SIGTERM)."""
+    from repro.engine.fabric import run_workers
+
+    try:
+        summaries = run_workers(_fabric_config(args), args.workers)
+    except RuntimeError as error:
+        raise SystemExit(f"python -m repro fabric work: {error}")
+    return _print_worker_summaries(summaries)
+
+
+def _fabric_resume(args: argparse.Namespace) -> int:
+    """Reclaim leases from dead workers, then drain what remains."""
+    from repro.engine.fabric import resume_campaign
+
+    try:
+        summaries = resume_campaign(_fabric_config(args), args.workers)
+    except RuntimeError as error:
+        raise SystemExit(f"python -m repro fabric resume: {error}")
+    return _print_worker_summaries(summaries)
+
+
+def _campaign_rows(status: dict) -> list[dict]:
+    return [
+        {
+            "campaign": name,
+            "pending": per["pending"],
+            "leased": per["leased"],
+            "settled": per["settled"],
+            "failed": per["failed"],
+            "total": per["total"],
+        }
+        for name, per in sorted(status["campaigns"].items())
+    ]
+
+
+def _fabric_status(args: argparse.Namespace) -> int:
+    """One snapshot of the queue: per-campaign counts + live leases."""
+    from repro.engine.fabric import campaign_status
+
+    status = campaign_status(_store_url(args), args.campaign)
+    if args.format == "json":
+        print(json.dumps(status, indent=2))
+        return 0
+    if not status["campaigns"]:
+        print("no campaigns enqueued")
+        return 0
+    _print_rows(_campaign_rows(status), args.format)
+    for lease in status["leases"]:
+        print(f"  leased {lease['task'][:10]} ({lease['campaign']}) by "
+              f"{lease['owner']} — attempt {lease['attempts']}, expires "
+              f"in {lease['expires_in']}s", file=sys.stderr)
+    print(f"\n{status['outstanding']} outstanding  "
+          f"[store: {status['store']}]", file=sys.stderr)
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Campaign + store progress view; ``--live`` polls until drained."""
+    import time as time_module
+
+    from repro.engine.fabric import campaign_status
+    from repro.engine.store import RunStore
+
+    url = _store_url(args)
+    while True:
+        status = campaign_status(url, args.campaign)
+        with RunStore(url) as store:
+            stats = store.stats()
+        if status["campaigns"]:
+            _print_rows(_campaign_rows(status), args.format)
+            for lease in status["leases"]:
+                print(f"  leased {lease['task'][:10]} by {lease['owner']} "
+                      f"(attempt {lease['attempts']}, expires in "
+                      f"{lease['expires_in']}s)")
+        else:
+            print("no campaigns enqueued")
+        print(f"store: {stats['ok']} ok / {stats['failed']} failed of "
+              f"{stats['total']} runs  [{stats['path']}]")
+        if not args.live or status["outstanding"] == 0:
+            return 0
+        time_module.sleep(args.interval)
+        print()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -848,6 +1015,107 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default $REPRO_STORE or "
                                  ".repro/runs.sqlite)")
     obs_report.set_defaults(func=cmd_obs)
+
+    fabric = sub.add_parser(
+        "fabric",
+        help="crash-resumable distributed sweeps: enqueue, work, "
+             "status, resume",
+    )
+    fabric_sub = fabric.add_subparsers(dest="fabric_command", required=True)
+
+    def _fabric_store_args(p, events_help):
+        p.add_argument("--campaign", default="default",
+                       help="campaign name (default: 'default')")
+        p.add_argument("--store", default=None,
+                       help="run-store path or scheme://path URL (default "
+                            "$REPRO_STORE or .repro/runs.sqlite)")
+        p.add_argument("--events", default=None, metavar="DIR",
+                       help=events_help)
+
+    fabric_enqueue = fabric_sub.add_parser(
+        "enqueue", help="fan a sweep out as leasable queue tasks"
+    )
+    fabric_enqueue.add_argument(
+        "--driver", default="crash",
+        choices=["crash", "byzantine", "obg", "gossip", "balls",
+                 "reelection", "falsify", "faults", "serve"],
+        help="named summary driver from repro.engine.sweeps",
+    )
+    fabric_enqueue.add_argument("--n", default="16,32,64",
+                                help="comma/range list of n values")
+    fabric_enqueue.add_argument("--seeds", default="0-4",
+                                help="comma/range list of seeds")
+    fabric_enqueue.add_argument("--f", default="0",
+                                help="fault budget as an expression in n")
+    fabric_enqueue.add_argument("--param", action="append", default=[],
+                                metavar="KEY=VALUE",
+                                help="extra driver keyword (JSON value); "
+                                     "repeatable")
+    _fabric_store_args(fabric_enqueue,
+                       "directory for the enqueue event record")
+    fabric_enqueue.set_defaults(func=cmd_fabric)
+
+    def _fabric_worker_args(p):
+        p.add_argument("--workers", type=int, default=1,
+                       help="worker processes (default 1, in-process)")
+        p.add_argument("--lease-ttl", type=float, default=30.0,
+                       help="seconds a lease survives without a "
+                            "heartbeat (default 30)")
+        p.add_argument("--timeout", type=float, default=None,
+                       help="per-task seconds before an isolated "
+                            "execution is failed")
+        p.add_argument("--max-attempts", type=int, default=5,
+                       help="lease generations before a task is "
+                            "poisoned (default 5)")
+        _fabric_store_args(p, "directory for per-worker fabric@1 "
+                              "event streams")
+
+    fabric_work = fabric_sub.add_parser(
+        "work", help="run workers until the campaign drains"
+    )
+    _fabric_worker_args(fabric_work)
+    fabric_work.add_argument("--forever", action="store_true",
+                             help="keep polling after the queue drains "
+                                  "(a standing fleet)")
+    fabric_work.set_defaults(func=cmd_fabric)
+
+    fabric_resume = fabric_sub.add_parser(
+        "resume",
+        help="reclaim leases from dead workers, then drain the rest",
+    )
+    _fabric_worker_args(fabric_resume)
+    fabric_resume.set_defaults(func=cmd_fabric, forever=False)
+
+    fabric_status = fabric_sub.add_parser(
+        "status", help="per-campaign queue counts and live leases"
+    )
+    fabric_status.add_argument("--campaign", default=None,
+                               help="restrict to one campaign")
+    fabric_status.add_argument("--store", default=None,
+                               help="run-store path or scheme://path URL "
+                                    "(default $REPRO_STORE or "
+                                    ".repro/runs.sqlite)")
+    fabric_status.add_argument("--format", choices=["plain", "md", "json"],
+                               default="plain")
+    fabric_status.set_defaults(func=cmd_fabric)
+
+    report = sub.add_parser(
+        "report",
+        help="campaign + store progress view (--live polls until "
+             "drained)",
+    )
+    report.add_argument("--live", action="store_true",
+                        help="refresh until no tasks remain outstanding")
+    report.add_argument("--interval", type=float, default=2.0,
+                        help="seconds between --live refreshes (default 2)")
+    report.add_argument("--campaign", default=None,
+                        help="restrict to one campaign")
+    report.add_argument("--store", default=None,
+                        help="run-store path or scheme://path URL (default "
+                             "$REPRO_STORE or .repro/runs.sqlite)")
+    report.add_argument("--format", choices=["plain", "md", "json"],
+                        default="plain")
+    report.set_defaults(func=cmd_report)
 
     runs = sub.add_parser(
         "runs", help="list/query/export cached runs from the store"

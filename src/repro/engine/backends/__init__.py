@@ -23,7 +23,17 @@ import os
 from typing import Callable
 
 from repro.engine.backends.base import (
+    SETTLE_ALREADY,
+    SETTLE_LOST,
+    SETTLE_MISSING,
+    SETTLE_OK,
+    TASK_FAILED,
+    TASK_LEASED,
+    TASK_PENDING,
+    TASK_SETTLED,
+    TASK_STATES,
     ConnectionPool,
+    QueuedTask,
     SqlStoreBackend,
     StoreBackend,
     StoredRun,
@@ -40,25 +50,43 @@ BACKEND_SCHEMES: dict[str, Callable[[str], StoreBackend]] = {
 
 
 def parse_store_url(value: os.PathLike | str) -> tuple[str, str]:
-    """Split a store location into ``(scheme, path)``.
+    """Split a store location into ``(scheme, absolute path)``.
 
     Bare paths (no ``://``) select ``sqlite`` so every pre-existing
-    store path keeps working unchanged.
+    store path keeps working unchanged.  Relative paths resolve against
+    the *parser's* CWD at parse time: fabric workers are spawned from
+    whatever directory they happen to inherit, and a relative
+    ``sqlite://runs.sqlite`` resolved lazily would silently give each
+    worker its own store file.  ``:memory:`` stays symbolic.
     """
     text = os.fspath(value)
     scheme, separator, rest = text.partition("://")
     if not separator:
-        return "sqlite", text
-    scheme = scheme.lower()
-    if scheme not in BACKEND_SCHEMES:
-        known = ", ".join(f"{name}://" for name in sorted(BACKEND_SCHEMES))
-        raise ValueError(
-            f"unknown run-store scheme {scheme!r} in {text!r}; "
-            f"known schemes: {known} (a bare path selects sqlite)"
-        )
-    if not rest:
-        raise ValueError(f"run-store URL {text!r} is missing a path")
+        scheme, rest = "sqlite", text
+    else:
+        scheme = scheme.lower()
+        if scheme not in BACKEND_SCHEMES:
+            known = ", ".join(
+                f"{name}://" for name in sorted(BACKEND_SCHEMES))
+            raise ValueError(
+                f"unknown run-store scheme {scheme!r} in {text!r}; "
+                f"known schemes: {known} (a bare path selects sqlite)"
+            )
+        if not rest:
+            raise ValueError(f"run-store URL {text!r} is missing a path")
+    if rest != ":memory:":
+        rest = os.path.abspath(rest)
     return scheme, rest
+
+
+def resolve_store_url(value: os.PathLike | str) -> str:
+    """Normalize a store location to an absolute ``scheme://path`` URL.
+
+    The canonical form to hand to a subprocess: every worker parses it
+    back to the same ``(scheme, path)`` regardless of its CWD.
+    """
+    scheme, path = parse_store_url(value)
+    return f"{scheme}://{path}"
 
 
 def available_backend_schemes() -> list[str]:
@@ -79,13 +107,24 @@ __all__ = [
     "BACKEND_SCHEMES",
     "ConnectionPool",
     "DuckdbBackend",
+    "QueuedTask",
+    "SETTLE_ALREADY",
+    "SETTLE_LOST",
+    "SETTLE_MISSING",
+    "SETTLE_OK",
     "SqlStoreBackend",
     "SqliteBackend",
     "StoreBackend",
     "StoredRun",
+    "TASK_FAILED",
+    "TASK_LEASED",
+    "TASK_PENDING",
+    "TASK_SETTLED",
+    "TASK_STATES",
     "available_backend_schemes",
     "duckdb_available",
     "normalize_ledger",
     "open_backend",
     "parse_store_url",
+    "resolve_store_url",
 ]

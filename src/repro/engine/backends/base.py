@@ -7,6 +7,13 @@ so new engines (asyncpg, ...) are one-file additions:
 ``put`` / ``get`` / ``query`` / ``ledger`` / ``put_telemetry`` /
 ``telemetry`` / ``telemetry_rows`` / ``stats`` / ``delete`` / ``clear``
 
+plus the *work-queue* surface the distributed sweep fabric leases from
+(:mod:`repro.engine.fabric`):
+
+``enqueue_tasks`` / ``claim_task`` / ``heartbeat_task`` /
+``settle_task`` / ``reap_tasks`` / ``get_task`` / ``list_tasks`` /
+``task_counts``
+
 Semantics every backend must honour (pinned by the conformance suite in
 ``tests/test_store_backends.py``):
 
@@ -21,6 +28,13 @@ Semantics every backend must honour (pinned by the conformance suite in
 * ``query`` orders by ``(created, hash)``; ``stats`` reports totals.
 * Readers in other threads (and, where the engine allows it, other
   processes) see committed writes — concurrent readers are first-class.
+* Queue mutations are atomic claim-or-nothing: ``claim_task`` leases
+  exactly one claimable task (``pending``, or ``leased`` past its
+  deadline) or returns ``None``; ``settle_task`` transitions only the
+  caller's own live lease, so settling an already-settled task (or a
+  lease lost to the reaper) is a *detected no-op* — never a second
+  settlement.  ``enqueue_tasks`` ignores already-enqueued hashes, so
+  re-enqueueing a campaign is idempotent.
 
 :class:`SqlStoreBackend` implements the whole contract over DB-API
 style connections using only portable SQL (``?`` placeholders, quoted
@@ -63,6 +77,9 @@ class StoredRun:
     #: ledger (a zero-round run) still sets this, so ``[]`` and ``None``
     #: survive store round trips distinctly.
     has_ledger: bool = False
+    #: Executions the stored result took (1 = clean first attempt,
+    #: 2 = recovered through the retry path; legacy rows default to 1).
+    attempts: int = 1
 
     @property
     def ok(self) -> bool:
@@ -104,6 +121,51 @@ def normalize_ledger(
     return messages, bits
 
 
+#: Work-queue task states (the lease/settlement state machine).
+TASK_PENDING = "pending"
+TASK_LEASED = "leased"
+TASK_SETTLED = "settled"
+TASK_FAILED = "failed"
+
+#: States a task can be claimed from; ``leased`` only past its deadline.
+TASK_STATES = (TASK_PENDING, TASK_LEASED, TASK_SETTLED, TASK_FAILED)
+
+#: ``settle_task`` outcomes.
+SETTLE_OK = "settled"          # this call performed the settlement
+SETTLE_ALREADY = "already"     # task was already settled/failed: no-op
+SETTLE_LOST = "lost"           # lease was reaped or re-leased elsewhere
+SETTLE_MISSING = "missing"     # no such task
+
+
+@dataclass
+class QueuedTask:
+    """One work-queue entry, decoded from the ``tasks`` table.
+
+    ``task_hash`` is the run's content address (the same hash the
+    ``runs`` table is keyed on), so settlement into the run store is
+    at-most-once *structurally*: however many workers race, there is
+    exactly one ``runs`` row a task can resolve to.  ``attempts``
+    counts leases taken out on the task — 1 for a clean first
+    execution, more after crash recovery re-leases.
+    """
+
+    campaign: str
+    task_hash: str
+    seq: int
+    spec: dict
+    state: str
+    lease_owner: Optional[str]
+    lease_deadline: Optional[float]
+    attempts: int
+    result_status: Optional[str]
+    created: float
+    settled: Optional[float]
+
+    @property
+    def done(self) -> bool:
+        return self.state in (TASK_SETTLED, TASK_FAILED)
+
+
 class StoreBackend:
     """Abstract run-store backend.  See the module docstring for the
     contract; subclasses must implement every method below."""
@@ -135,7 +197,8 @@ class StoreBackend:
             row: Optional[dict] = None, error: Optional[str] = None,
             elapsed: Optional[float] = None,
             messages_per_round: Optional[Sequence[int]] = None,
-            bits_per_round: Optional[Sequence[int]] = None) -> None:
+            bits_per_round: Optional[Sequence[int]] = None,
+            attempts: int = 1) -> None:
         raise NotImplementedError
 
     def put_telemetry(self, hash_: str, key: str, value: object) -> None:
@@ -172,6 +235,45 @@ class StoreBackend:
         raise NotImplementedError
 
     def stats(self) -> dict:
+        raise NotImplementedError
+
+    # -- work queue ---------------------------------------------------
+
+    def enqueue_tasks(self, campaign: str,
+                      tasks: Sequence[tuple[str, int, dict]]) -> int:
+        """Insert ``(task_hash, seq, spec)`` rows as ``pending``;
+        already-enqueued hashes are ignored.  Returns how many rows
+        were actually new."""
+        raise NotImplementedError
+
+    def claim_task(self, owner: str, now: float, lease_deadline: float,
+                   campaign: Optional[str] = None) -> Optional["QueuedTask"]:
+        raise NotImplementedError
+
+    def heartbeat_task(self, campaign: str, task_hash: str, owner: str,
+                       lease_deadline: float) -> bool:
+        raise NotImplementedError
+
+    def settle_task(self, campaign: str, task_hash: str, owner: str,
+                    state: str, result_status: Optional[str],
+                    now: float) -> str:
+        raise NotImplementedError
+
+    def reap_tasks(self, now: float, campaign: Optional[str] = None,
+                   force: bool = False) -> list["QueuedTask"]:
+        raise NotImplementedError
+
+    def get_task(self, campaign: str,
+                 task_hash: str) -> Optional["QueuedTask"]:
+        raise NotImplementedError
+
+    def list_tasks(self, *, campaign: Optional[str] = None,
+                   state: Optional[str] = None,
+                   limit: Optional[int] = None) -> list["QueuedTask"]:
+        raise NotImplementedError
+
+    def task_counts(self, campaign: Optional[str] = None,
+                    ) -> dict[str, dict[str, int]]:
         raise NotImplementedError
 
 
@@ -236,29 +338,56 @@ class SqlStoreBackend(StoreBackend):
 
     # -- plumbing -----------------------------------------------------
 
+    #: Statement opening a write transaction.  SQLite overrides this to
+    #: ``BEGIN IMMEDIATE``: a deferred transaction that reads before
+    #: writing can hit an unretryable ``SQLITE_BUSY`` on lock upgrade
+    #: when another fabric worker committed in between, while an
+    #: immediate one serializes at BEGIN under ``busy_timeout``.
+    _BEGIN_WRITE = "BEGIN"
+
     def _execute(self, sql: str, parameters: Sequence = ()):
         return self._pool.get().execute(sql, parameters)
 
     def close(self) -> None:
         self._pool.close_all()
 
-    def _write(self, statements: list[tuple[str, Sequence]]) -> None:
-        """Run ``statements`` in one explicit transaction.
+    def _mutate(self, op):
+        """Run ``op(connection)`` inside one explicit write transaction.
 
         ``BEGIN``/``COMMIT``/``ROLLBACK`` are portable across SQLite
         (connections are opened in autocommit, ``isolation_level=None``)
-        and DuckDB, and keep a ``put``'s row + ledger rewrite atomic for
-        concurrent readers.
+        and DuckDB, and keep multi-statement mutations — a ``put``'s
+        row + ledger rewrite, a queue claim's read-then-lease — atomic
+        for concurrent readers and competing workers.
         """
         connection = self._pool.get()
-        connection.execute("BEGIN")
+        connection.execute(self._BEGIN_WRITE)
         try:
-            for sql, parameters in statements:
-                connection.execute(sql, parameters)
+            result = op(connection)
             connection.execute("COMMIT")
+            return result
         except BaseException:
             connection.execute("ROLLBACK")
             raise
+
+    def _write(self, statements: list[tuple[str, Sequence]]) -> None:
+        """Run ``statements`` in one explicit transaction."""
+
+        def op(connection):
+            for sql, parameters in statements:
+                connection.execute(sql, parameters)
+
+        self._mutate(op)
+
+    @staticmethod
+    def _update_count(cursor) -> int:
+        """Rows changed by an UPDATE/INSERT just executed on ``cursor``.
+
+        sqlite3 exposes ``rowcount``; DuckDB instead *returns* the
+        count as a one-row result (and reports ``rowcount`` as -1), so
+        its backend overrides this.
+        """
+        return cursor.rowcount
 
     # -- writes -------------------------------------------------------
 
@@ -267,15 +396,16 @@ class SqlStoreBackend(StoreBackend):
             row: Optional[dict] = None, error: Optional[str] = None,
             elapsed: Optional[float] = None,
             messages_per_round: Optional[Sequence[int]] = None,
-            bits_per_round: Optional[Sequence[int]] = None) -> None:
+            bits_per_round: Optional[Sequence[int]] = None,
+            attempts: int = 1) -> None:
         """Insert or replace one run (and its per-round ledgers)."""
         params_map = dict(params) if not isinstance(params, dict) else params
         ledger = normalize_ledger(hash_, messages_per_round, bits_per_round)
         statements: list[tuple[str, Sequence]] = [(
             "INSERT OR REPLACE INTO runs"
             " (hash, driver, n, f, seed, params, code_version,"
-            "  status, row, error, elapsed, created, has_ledger)"
-            " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            "  status, row, error, elapsed, created, has_ledger, attempts)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
             (
                 hash_, driver, n, f, seed,
                 canonical_json(params_map), version, status,
@@ -284,7 +414,7 @@ class SqlStoreBackend(StoreBackend):
                 # row must render byte-identically to a fresh one.
                 json.dumps(row) if row is not None else None,
                 error, elapsed, time.time(),
-                ledger is not None,
+                ledger is not None, int(attempts),
             ),
         )]
         statements.append(
@@ -331,17 +461,17 @@ class SqlStoreBackend(StoreBackend):
     @staticmethod
     def _decode(record: tuple) -> StoredRun:
         (hash_, driver, n, f, seed, params, version, status, row, error,
-         elapsed, created, has_ledger) = record
+         elapsed, created, has_ledger, attempts) = record
         return StoredRun(
             hash=hash_, driver=driver, n=n, f=f, seed=seed,
             params=json.loads(params), code_version=version, status=status,
             row=json.loads(row) if row is not None else None,
             error=error, elapsed=elapsed, created=created,
-            has_ledger=bool(has_ledger),
+            has_ledger=bool(has_ledger), attempts=int(attempts),
         )
 
     _COLUMNS = ("hash, driver, n, f, seed, params, code_version, status,"
-                " row, error, elapsed, created, has_ledger")
+                " row, error, elapsed, created, has_ledger, attempts")
 
     def get(self, hash_: str) -> Optional[StoredRun]:
         cursor = self._execute(
@@ -449,3 +579,214 @@ class SqlStoreBackend(StoreBackend):
             "drivers": drivers,
             "path": str(self.path),
         }
+
+    # -- work queue ---------------------------------------------------
+
+    _TASK_COLUMNS = ("campaign, task_hash, seq, spec, state, lease_owner,"
+                     " lease_deadline, attempts, result_status, created,"
+                     " settled")
+
+    @staticmethod
+    def _decode_task(record: tuple) -> QueuedTask:
+        (campaign, task_hash, seq, spec, state, lease_owner, lease_deadline,
+         attempts, result_status, created, settled) = record
+        return QueuedTask(
+            campaign=campaign, task_hash=task_hash, seq=int(seq),
+            spec=json.loads(spec), state=state, lease_owner=lease_owner,
+            lease_deadline=lease_deadline, attempts=int(attempts),
+            result_status=result_status, created=created, settled=settled,
+        )
+
+    def enqueue_tasks(self, campaign: str,
+                      tasks: Sequence[tuple[str, int, dict]]) -> int:
+        """Insert pending tasks; re-enqueueing known hashes is a no-op."""
+        created = time.time()
+
+        def op(connection) -> int:
+            new = 0
+            for task_hash, seq, spec in tasks:
+                cursor = connection.execute(
+                    "INSERT OR IGNORE INTO tasks"
+                    " (campaign, task_hash, seq, spec, state, lease_owner,"
+                    "  lease_deadline, attempts, result_status, created,"
+                    "  settled)"
+                    " VALUES (?, ?, ?, ?, ?, NULL, NULL, 0, NULL, ?, NULL)",
+                    (campaign, task_hash, int(seq), canonical_json(spec),
+                     TASK_PENDING, created),
+                )
+                new += self._update_count(cursor)
+            return new
+
+        return self._mutate(op)
+
+    def claim_task(self, owner: str, now: float, lease_deadline: float,
+                   campaign: Optional[str] = None) -> Optional[QueuedTask]:
+        """Lease the first claimable task, or return ``None``.
+
+        Claimable: ``pending``, or ``leased`` with an expired deadline
+        (its worker crashed without settling).  The read and the lease
+        UPDATE share one write transaction, and the UPDATE re-checks
+        the claimability predicate, so two workers can never lease the
+        same task generation.
+        """
+
+        def op(connection) -> Optional[QueuedTask]:
+            claimable = ("state = ? OR (state = ? AND lease_deadline"
+                         " IS NOT NULL AND lease_deadline < ?)")
+            values: list = [TASK_PENDING, TASK_LEASED, now]
+            sql = (f"SELECT {self._TASK_COLUMNS} FROM tasks"
+                   f" WHERE ({claimable})")
+            if campaign is not None:
+                sql += " AND campaign = ?"
+                values.append(campaign)
+            sql += " ORDER BY campaign, seq LIMIT 1"
+            record = connection.execute(sql, values).fetchone()
+            if record is None:
+                return None
+            task = self._decode_task(record)
+            cursor = connection.execute(
+                "UPDATE tasks SET state = ?, lease_owner = ?,"
+                " lease_deadline = ?, attempts = attempts + 1"
+                f" WHERE campaign = ? AND task_hash = ? AND ({claimable})",
+                (TASK_LEASED, owner, lease_deadline, task.campaign,
+                 task.task_hash, TASK_PENDING, TASK_LEASED, now),
+            )
+            if self._update_count(cursor) != 1:  # pragma: no cover - racy
+                return None
+            task.state = TASK_LEASED
+            task.lease_owner = owner
+            task.lease_deadline = lease_deadline
+            task.attempts += 1
+            return task
+
+        return self._mutate(op)
+
+    def heartbeat_task(self, campaign: str, task_hash: str, owner: str,
+                       lease_deadline: float) -> bool:
+        """Extend the caller's live lease; ``False`` means it was lost."""
+
+        def op(connection) -> bool:
+            cursor = connection.execute(
+                "UPDATE tasks SET lease_deadline = ?"
+                " WHERE campaign = ? AND task_hash = ? AND state = ?"
+                " AND lease_owner = ?",
+                (lease_deadline, campaign, task_hash, TASK_LEASED, owner),
+            )
+            return self._update_count(cursor) == 1
+
+        return self._mutate(op)
+
+    def settle_task(self, campaign: str, task_hash: str, owner: str,
+                    state: str, result_status: Optional[str],
+                    now: float) -> str:
+        """Resolve the caller's lease; returns a ``SETTLE_*`` outcome.
+
+        Only the live lease owner settles (``SETTLE_OK``); anyone else
+        gets a detected no-op — ``SETTLE_ALREADY`` when the task is
+        done, ``SETTLE_LOST`` when the lease moved on, and
+        ``SETTLE_MISSING`` when there is no such task.
+        """
+        if state not in (TASK_SETTLED, TASK_FAILED):
+            raise ValueError(
+                f"settle_task: state must be '{TASK_SETTLED}' or"
+                f" '{TASK_FAILED}', got {state!r}")
+
+        def op(connection) -> str:
+            cursor = connection.execute(
+                "UPDATE tasks SET state = ?, result_status = ?, settled = ?,"
+                " lease_owner = NULL, lease_deadline = NULL"
+                " WHERE campaign = ? AND task_hash = ? AND state = ?"
+                " AND lease_owner = ?",
+                (state, result_status, now, campaign, task_hash,
+                 TASK_LEASED, owner),
+            )
+            if self._update_count(cursor) == 1:
+                return SETTLE_OK
+            record = connection.execute(
+                "SELECT state FROM tasks WHERE campaign = ?"
+                " AND task_hash = ?", (campaign, task_hash)).fetchone()
+            if record is None:
+                return SETTLE_MISSING
+            if record[0] in (TASK_SETTLED, TASK_FAILED):
+                return SETTLE_ALREADY
+            return SETTLE_LOST
+
+        return self._mutate(op)
+
+    def reap_tasks(self, now: float, campaign: Optional[str] = None,
+                   force: bool = False) -> list[QueuedTask]:
+        """Return expired leases to ``pending`` (all leases if ``force``).
+
+        Returns the reclaimed tasks as they were *before* reaping, so
+        the caller can report which owner lost each lease.
+        """
+
+        def op(connection) -> list[QueuedTask]:
+            stale = "state = ?"
+            values: list = [TASK_LEASED]
+            if not force:
+                stale += " AND lease_deadline IS NOT NULL AND lease_deadline < ?"
+                values.append(now)
+            if campaign is not None:
+                stale += " AND campaign = ?"
+                values.append(campaign)
+            records = connection.execute(
+                f"SELECT {self._TASK_COLUMNS} FROM tasks WHERE {stale}"
+                " ORDER BY campaign, seq", values).fetchall()
+            reaped = [self._decode_task(r) for r in records]
+            for task in reaped:
+                connection.execute(
+                    "UPDATE tasks SET state = ?, lease_owner = NULL,"
+                    " lease_deadline = NULL"
+                    " WHERE campaign = ? AND task_hash = ? AND state = ?"
+                    " AND lease_owner = ?",
+                    (TASK_PENDING, task.campaign, task.task_hash,
+                     TASK_LEASED, task.lease_owner),
+                )
+            return reaped
+
+        return self._mutate(op)
+
+    def get_task(self, campaign: str,
+                 task_hash: str) -> Optional[QueuedTask]:
+        record = self._execute(
+            f"SELECT {self._TASK_COLUMNS} FROM tasks"
+            " WHERE campaign = ? AND task_hash = ?",
+            (campaign, task_hash)).fetchone()
+        return self._decode_task(record) if record else None
+
+    def list_tasks(self, *, campaign: Optional[str] = None,
+                   state: Optional[str] = None,
+                   limit: Optional[int] = None) -> list[QueuedTask]:
+        clauses, values = [], []
+        if campaign is not None:
+            clauses.append("campaign = ?")
+            values.append(campaign)
+        if state is not None:
+            clauses.append("state = ?")
+            values.append(state)
+        sql = f"SELECT {self._TASK_COLUMNS} FROM tasks"
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        sql += " ORDER BY campaign, seq"
+        if limit is not None:
+            sql += f" LIMIT {int(limit)}"
+        return [self._decode_task(r)
+                for r in self._execute(sql, values).fetchall()]
+
+    def task_counts(self, campaign: Optional[str] = None,
+                    ) -> dict[str, dict[str, int]]:
+        """``{campaign: {state: count, "total": count}}``."""
+        sql = "SELECT campaign, state, COUNT(*) FROM tasks"
+        values: list = []
+        if campaign is not None:
+            sql += " WHERE campaign = ?"
+            values.append(campaign)
+        sql += " GROUP BY campaign, state ORDER BY campaign, state"
+        counts: dict[str, dict[str, int]] = {}
+        for name, state, count in self._execute(sql, values).fetchall():
+            per = counts.setdefault(
+                name, {s: 0 for s in TASK_STATES} | {"total": 0})
+            per[state] = int(count)
+            per["total"] += int(count)
+        return counts

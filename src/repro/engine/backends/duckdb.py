@@ -40,7 +40,8 @@ _SCHEMA_STATEMENTS = (
         error        VARCHAR,
         elapsed      DOUBLE,
         created      DOUBLE NOT NULL,
-        has_ledger   BOOLEAN NOT NULL DEFAULT FALSE
+        has_ledger   BOOLEAN NOT NULL DEFAULT FALSE,
+        attempts     BIGINT NOT NULL DEFAULT 1
     )
     """,
     """
@@ -59,6 +60,23 @@ _SCHEMA_STATEMENTS = (
         value    VARCHAR NOT NULL,
         created  DOUBLE NOT NULL,
         PRIMARY KEY (run_hash, key)
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS tasks (
+        campaign       VARCHAR NOT NULL,
+        task_hash      VARCHAR NOT NULL,
+        seq            BIGINT NOT NULL,
+        spec           VARCHAR NOT NULL,
+        state          VARCHAR NOT NULL
+            CHECK (state IN ('pending', 'leased', 'settled', 'failed')),
+        lease_owner    VARCHAR,
+        lease_deadline DOUBLE,
+        attempts       BIGINT NOT NULL DEFAULT 0,
+        result_status  VARCHAR,
+        created        DOUBLE NOT NULL,
+        settled        DOUBLE,
+        PRIMARY KEY (campaign, task_hash)
     )
     """,
 )
@@ -96,12 +114,23 @@ class DuckdbBackend(SqlStoreBackend):
             ":memory:" if self._memory else str(self.path))
         for statement in _SCHEMA_STATEMENTS:
             self._root.execute(statement)
+        # Stores created before the retry-attempt column.
+        self._root.execute(
+            "ALTER TABLE runs ADD COLUMN IF NOT EXISTS"
+            " attempts BIGINT NOT NULL DEFAULT 1")
         super().__init__()
 
     def _connect(self):
         # cursor() duplicates the root connection: same database, own
         # transaction context — one per thread, handed out by the pool.
         return self._root.cursor()
+
+    @staticmethod
+    def _update_count(cursor) -> int:
+        # DuckDB reports rowcount as -1 and instead *returns* the
+        # changed-row count as a one-row result of the UPDATE/INSERT.
+        record = cursor.fetchone()
+        return int(record[0]) if record else 0
 
     def close(self) -> None:
         super().close()

@@ -38,7 +38,8 @@ CREATE TABLE IF NOT EXISTS runs (
     error        TEXT,
     elapsed      REAL,
     created      REAL NOT NULL,
-    has_ledger   INTEGER NOT NULL DEFAULT 0
+    has_ledger   INTEGER NOT NULL DEFAULT 0,
+    attempts     INTEGER NOT NULL DEFAULT 1
 );
 CREATE INDEX IF NOT EXISTS idx_runs_driver ON runs (driver, n, f, seed);
 CREATE INDEX IF NOT EXISTS idx_runs_created ON runs (created);
@@ -56,6 +57,22 @@ CREATE TABLE IF NOT EXISTS telemetry (
     created  REAL NOT NULL,
     PRIMARY KEY (run_hash, key)
 );
+CREATE TABLE IF NOT EXISTS tasks (
+    campaign       TEXT NOT NULL,
+    task_hash      TEXT NOT NULL,
+    seq            INTEGER NOT NULL,
+    spec           TEXT NOT NULL,
+    state          TEXT NOT NULL
+        CHECK (state IN ('pending', 'leased', 'settled', 'failed')),
+    lease_owner    TEXT,
+    lease_deadline REAL,
+    attempts       INTEGER NOT NULL DEFAULT 0,
+    result_status  TEXT,
+    created        REAL NOT NULL,
+    settled        REAL,
+    PRIMARY KEY (campaign, task_hash)
+);
+CREATE INDEX IF NOT EXISTS idx_tasks_state ON tasks (state, lease_deadline);
 """
 
 
@@ -84,6 +101,12 @@ class SqliteBackend(SqlStoreBackend):
 
     scheme = "sqlite"
     supports_concurrent_instances = True
+
+    # Writes take the lock at BEGIN: a deferred transaction that reads
+    # before writing can hit an unretryable SQLITE_BUSY upgrading its
+    # shared lock when a competing fabric worker committed in between;
+    # BEGIN IMMEDIATE serializes writers under busy_timeout instead.
+    _BEGIN_WRITE = "BEGIN IMMEDIATE"
 
     def __init__(self, path: os.PathLike | str):
         self.path = Path(path)
@@ -150,3 +173,7 @@ class SqliteBackend(SqlStoreBackend):
             connection.execute(
                 "UPDATE runs SET has_ledger = EXISTS"
                 " (SELECT 1 FROM ledgers WHERE run_hash = hash)")
+        if "attempts" not in columns:
+            connection.execute(
+                "ALTER TABLE runs"
+                " ADD COLUMN attempts INTEGER NOT NULL DEFAULT 1")

@@ -140,6 +140,28 @@ def _run_isolated(request: RunRequest,
             worker.join()
 
 
+def retry_jitter_delay(base: float, request: RunRequest,
+                       attempt: int = 1) -> float:
+    """Seeded-jitter backoff before retrying ``request``.
+
+    Reuses the serving layer's deterministic scheme
+    (:func:`repro.serve.resilience.retry_delay`): exponential in the
+    attempt with a multiplicative jitter drawn from
+    ``hash((seed, n, f, attempt))`` — an integer tuple, so the stream
+    is identical across processes and ``PYTHONHASHSEED`` values.  The
+    jitter is the point: a fixed sleep marches every retrying worker
+    back in lockstep onto whatever resource contention broke the first
+    attempt, while a seeded spread decorrelates them *reproducibly*.
+    """
+    if base <= 0:
+        return 0.0
+    from repro.serve.resilience import ResiliencePolicy, retry_delay
+
+    policy = ResiliencePolicy(backoff_base=base, backoff_factor=2.0,
+                              backoff_jitter=0.5)
+    return retry_delay(policy, request.seed, request.n, request.f, attempt)
+
+
 def _chunk(tasks: list, size: int) -> list[list]:
     return [tasks[start:start + size] for start in range(0, len(tasks), size)]
 
@@ -180,11 +202,13 @@ def run_requests(
         Optional ``progress(done, total)`` callback, called after the
         cache scan and after each completed chunk.
     retry_backoff:
-        Seconds to wait before resubmitting the tasks of a timed-out or
-        broken chunk individually (transient failures — OOM kills, a
-        wedged sibling — often need a beat to clear).  Each task gets
-        exactly one retry; a task that fails twice is recorded failed
-        with both errors.
+        Base seconds of the seeded-jitter backoff
+        (:func:`retry_jitter_delay`) applied before resubmitting each
+        task of a timed-out or broken chunk individually (transient
+        failures — OOM kills, a wedged sibling — often need a beat to
+        clear, and jitter keeps the retries from re-colliding).  Each
+        task gets exactly one retry; a task that fails twice is
+        recorded failed with both errors.
     observer:
         Optional :class:`repro.obs.Observer`.  When enabled, emits
         ``engine.*`` events (store hit/miss, chunk dispatch/timeout/
@@ -271,6 +295,7 @@ def run_requests(
                 error=result.error, elapsed=result.elapsed,
                 messages_per_round=result.messages_per_round,
                 bits_per_round=result.bits_per_round,
+                attempts=result.attempts,
             )
             if obs is not None:
                 store.put_telemetry(hashes[index], "run", {
@@ -352,9 +377,10 @@ def run_requests(
                         child.terminate()
             else:
                 pool.shutdown(wait=True)
-        if retry and retry_backoff > 0:
-            time.sleep(retry_backoff)
         for index, request, first_error in retry:
+            delay = retry_jitter_delay(retry_backoff, request)
+            if delay > 0:
+                time.sleep(delay)
             if obs is not None:
                 obs.emit("engine.task.retry", driver=request.driver,
                          n=request.n, seed=request.seed)
@@ -370,3 +396,39 @@ def run_requests(
                 progress(done, total)
 
     return results  # type: ignore[return-value]
+
+
+def execute_leased(
+    request: RunRequest,
+    *,
+    timeout: Optional[float] = None,
+    retry_backoff: float = 0.25,
+    isolate: bool = True,
+) -> RunResult:
+    """Execute one *leased* request for a fabric worker.
+
+    The single-task analogue of :func:`run_requests`' execute path,
+    with the same taxonomy: crash isolation in an owned, killable
+    child process (``isolate=True``), one seeded-jitter retry, and a
+    concatenated error trail when both attempts fail.  ``isolate=False``
+    runs in-process — for tests and for workers that are themselves
+    already expendable processes.
+    """
+    runner = ((lambda: _run_isolated(request, timeout)) if isolate
+              else (lambda: _run_one(request)))
+    result = runner()
+    result.request = request
+    if result.ok:
+        return result
+    first_error = result.error
+    delay = retry_jitter_delay(retry_backoff, request)
+    if delay > 0:
+        time.sleep(delay)
+    result = runner()
+    result.request = request
+    result.attempts = 2
+    if not result.ok:
+        result.error = (
+            f"{result.error}\n--- first attempt ---\n{first_error}"
+        )
+    return result

@@ -1,0 +1,140 @@
+"""The fabric's work queue: run requests as leasable, settleable tasks.
+
+:class:`TaskQueue` is a thin, typed facade over the ``tasks`` table of
+a run store backend (see :mod:`repro.engine.backends.base` for the
+portable SQL and the atomicity contract).  It owns the translation
+between engine values and queue rows:
+
+* **Enqueue** — a :class:`~repro.engine.sweeps.RunRequest` becomes a
+  task keyed by its *content hash* (the same hash the ``runs`` table
+  uses), with the request serialized as a JSON spec.  Using the run
+  hash as the task key makes settlement at-most-once structurally:
+  however many workers race on a task, they all resolve to the same
+  single ``runs`` row, and re-enqueueing a campaign is a no-op for
+  every task already known.
+* **Lease** — ``claim`` atomically takes the first claimable task
+  (``pending``, or ``leased`` past its deadline — its worker crashed)
+  and stamps owner + deadline; ``heartbeat`` extends a live lease and
+  reports honestly when the lease was lost to the reaper.
+* **Settle** — only the live lease owner transitions the task to
+  ``settled``/``failed``; everyone else gets a detected no-op verdict
+  (see the ``SETTLE_*`` constants).
+
+The queue deliberately knows nothing about *executing* tasks — that is
+:mod:`repro.engine.fabric` — so it can be driven directly by tests and
+by the status CLI.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Sequence
+
+from repro.engine.backends.base import (
+    TASK_FAILED,
+    TASK_LEASED,
+    TASK_PENDING,
+    TASK_SETTLED,
+    QueuedTask,
+)
+from repro.engine.store import RunStore, code_version, run_hash
+from repro.engine.sweeps import RunRequest, request_from_spec, request_to_spec
+
+__all__ = ["TaskQueue", "task_request"]
+
+
+def task_request(task: QueuedTask) -> RunRequest:
+    """Rebuild the run request a queued task stands for."""
+    return request_from_spec(task.spec)
+
+
+class TaskQueue:
+    """Typed queue operations over one run store's ``tasks`` table."""
+
+    def __init__(self, store: RunStore):
+        self.store = store
+        self._backend = store.backend
+
+    # -- enqueue ------------------------------------------------------
+
+    def enqueue(self, campaign: str,
+                requests: Sequence[RunRequest]) -> tuple[int, int]:
+        """Fan requests out as pending tasks; returns ``(total, new)``.
+
+        Task hashes are content hashes under the *current* code
+        version, so editing any source enqueues fresh work instead of
+        colliding with stale tasks.  Duplicate requests inside one
+        call collapse to one task; re-enqueueing is idempotent.
+        """
+        version = code_version()
+        rows: list[tuple[str, int, dict]] = []
+        seen: set[str] = set()
+        for request in requests:
+            hash_ = run_hash(request.driver, request.n, request.f,
+                             request.seed, request.params, version)
+            if hash_ in seen:
+                continue
+            seen.add(hash_)
+            rows.append((hash_, len(rows), request_to_spec(request)))
+        new = self._backend.enqueue_tasks(campaign, rows)
+        return len(rows), new
+
+    # -- lease / settle ----------------------------------------------
+
+    def claim(self, owner: str, lease_ttl: float,
+              campaign: Optional[str] = None,
+              now: Optional[float] = None) -> Optional[QueuedTask]:
+        now = time.time() if now is None else now
+        return self._backend.claim_task(
+            owner, now, now + lease_ttl, campaign=campaign)
+
+    def heartbeat(self, task: QueuedTask, owner: str, lease_ttl: float,
+                  now: Optional[float] = None) -> bool:
+        now = time.time() if now is None else now
+        return self._backend.heartbeat_task(
+            task.campaign, task.task_hash, owner, now + lease_ttl)
+
+    def settle(self, task: QueuedTask, owner: str, *,
+               result_status: Optional[str],
+               now: Optional[float] = None) -> str:
+        """Settle the caller's lease from the run outcome.
+
+        ``result_status == "ok"`` settles the task; anything else
+        (including ``None`` for a run that never produced a result)
+        fails it.  Returns the backend's ``SETTLE_*`` verdict.
+        """
+        state = TASK_SETTLED if result_status == "ok" else TASK_FAILED
+        return self._backend.settle_task(
+            task.campaign, task.task_hash, owner, state, result_status,
+            time.time() if now is None else now)
+
+    def reap(self, campaign: Optional[str] = None, *, force: bool = False,
+             now: Optional[float] = None) -> list[QueuedTask]:
+        return self._backend.reap_tasks(
+            time.time() if now is None else now, campaign=campaign,
+            force=force)
+
+    # -- introspection ------------------------------------------------
+
+    def get(self, campaign: str, task_hash: str) -> Optional[QueuedTask]:
+        return self._backend.get_task(campaign, task_hash)
+
+    def tasks(self, *, campaign: Optional[str] = None,
+              state: Optional[str] = None,
+              limit: Optional[int] = None) -> list[QueuedTask]:
+        return self._backend.list_tasks(
+            campaign=campaign, state=state, limit=limit)
+
+    def counts(self, campaign: Optional[str] = None,
+               ) -> dict[str, dict[str, int]]:
+        return self._backend.task_counts(campaign)
+
+    def campaigns(self) -> list[str]:
+        return sorted(self.counts())
+
+    def outstanding(self, campaign: Optional[str] = None) -> int:
+        """Tasks not yet settled or failed (pending + leased)."""
+        return sum(
+            per[TASK_PENDING] + per[TASK_LEASED]
+            for per in self.counts(campaign).values()
+        )

@@ -46,7 +46,12 @@ from functools import lru_cache
 from pathlib import Path
 from typing import Optional, Sequence
 
-from repro.engine.backends import StoreBackend, open_backend, parse_store_url
+from repro.engine.backends import (
+    StoreBackend,
+    open_backend,
+    parse_store_url,
+    resolve_store_url,
+)
 from repro.engine.backends.base import StoredRun, canonical_json
 
 __all__ = [
@@ -168,12 +173,13 @@ class RunStore:
             row: Optional[dict] = None, error: Optional[str] = None,
             elapsed: Optional[float] = None,
             messages_per_round: Optional[Sequence[int]] = None,
-            bits_per_round: Optional[Sequence[int]] = None) -> None:
+            bits_per_round: Optional[Sequence[int]] = None,
+            attempts: int = 1) -> None:
         self._backend.put(
             hash_, driver=driver, n=n, f=f, seed=seed, params=params,
             version=version, status=status, row=row, error=error,
             elapsed=elapsed, messages_per_round=messages_per_round,
-            bits_per_round=bits_per_round,
+            bits_per_round=bits_per_round, attempts=attempts,
         )
 
     def put_telemetry(self, hash_: str, key: str, value: object) -> None:
@@ -206,4 +212,4 @@ class RunStore:
 
 # Re-exported for callers that treat the module as the one-stop store
 # API (the CLI, tests, and the export path all resolve URLs through it).
-__all__ += ["open_backend", "parse_store_url"]
+__all__ += ["open_backend", "parse_store_url", "resolve_store_url"]

@@ -22,6 +22,11 @@ from repro.obs.events import (
     validate_event,
     validate_events,
 )
+from repro.obs.fabric import (
+    FABRIC_EVENT_FORMAT,
+    FABRIC_EVENT_KINDS,
+    validate_fabric_events,
+)
 from repro.obs.profile import (
     PROFILE_FORMAT,
     STEP_PHASES,
@@ -39,6 +44,9 @@ __all__ = [
     "read_jsonl",
     "validate_event",
     "validate_events",
+    "FABRIC_EVENT_FORMAT",
+    "FABRIC_EVENT_KINDS",
+    "validate_fabric_events",
     "PROFILE_FORMAT",
     "STEP_PHASES",
     "PhaseProfiler",

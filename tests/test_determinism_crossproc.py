@@ -156,6 +156,46 @@ print(json.dumps({
 """
 
 
+#: Drains a small fabric campaign with an in-process worker and prints
+#: one sha256 digest over the settled run set (hash, status, row,
+#: ledger).  Lease jitter, heartbeat scheduling, and retry backoff all
+#: derive from integer-tuple hashes, and every run row is keyed by its
+#: content hash, so the campaign's final store must be byte-identical
+#: across hash seeds — the fabric's determinism contract.
+FABRIC_SCRIPT = """
+import hashlib
+import json
+import tempfile
+
+from repro.engine import (FabricConfig, FabricWorker, RunStore,
+                          enqueue_campaign)
+from repro.engine.sweeps import SweepSpec
+
+with tempfile.TemporaryDirectory() as tmp:
+    url = f"sqlite://{tmp}/runs.sqlite"
+    requests = SweepSpec.make("crash", [8, 12], [0, 1],
+                              f="n//8").requests()
+    enqueue_campaign(url, "digest", requests)
+    summary = FabricWorker(
+        FabricConfig(store=url, campaign="digest", isolate=False),
+        name="digest-w",
+    ).run()
+    assert summary["settled"] == len(requests), summary
+    with RunStore(url) as store:
+        rows = [
+            {
+                "hash": run.hash,
+                "status": run.status,
+                "row": run.row,
+                "ledger": store.ledger(run.hash),
+            }
+            for run in sorted(store.query(), key=lambda r: r.hash)
+        ]
+canonical = json.dumps(rows, sort_keys=True).encode()
+print(hashlib.sha256(canonical).hexdigest())
+"""
+
+
 def _run(hashseed, script=SCRIPT):
     env = dict(os.environ)
     env["PYTHONHASHSEED"] = str(hashseed)
@@ -191,6 +231,14 @@ def test_columnar_path_hashseed_independent():
     first = _run(1, COLUMNAR_SCRIPT)
     second = _run(2, COLUMNAR_SCRIPT)
     assert first == second  # one byte-identical digest line
+    digest = first.decode().strip()
+    assert len(digest) == 64 and int(digest, 16) >= 0
+
+
+def test_fabric_campaign_hashseed_independent():
+    first = _run(1, FABRIC_SCRIPT)
+    second = _run(2, FABRIC_SCRIPT)
+    assert first == second  # one byte-identical run-set digest
     digest = first.decode().strip()
     assert len(digest) == 64 and int(digest, 16) >= 0
 

@@ -20,10 +20,17 @@ import pytest
 
 import repro
 from repro.engine.backends import (
+    SETTLE_ALREADY,
+    SETTLE_LOST,
+    SETTLE_MISSING,
+    SETTLE_OK,
+    TASK_LEASED,
+    TASK_PENDING,
     available_backend_schemes,
     duckdb_available,
     open_backend,
     parse_store_url,
+    resolve_store_url,
 )
 from repro.engine.store import RunStore, code_version, run_hash
 
@@ -52,7 +59,7 @@ def store(request, tmp_path):
 class TestStoreUrls:
     def test_bare_path_is_sqlite(self):
         assert parse_store_url(".repro/runs.sqlite") == (
-            "sqlite", ".repro/runs.sqlite")
+            "sqlite", os.path.abspath(".repro/runs.sqlite"))
 
     def test_pathlike_accepted(self):
         scheme, path = parse_store_url(Path("/tmp/x/runs.sqlite"))
@@ -63,12 +70,34 @@ class TestStoreUrls:
         assert parse_store_url("sqlite:///abs/runs.sqlite") == (
             "sqlite", "/abs/runs.sqlite")
         assert parse_store_url("SQLITE://rel/runs.sqlite") == (
-            "sqlite", "rel/runs.sqlite")
+            "sqlite", os.path.abspath("rel/runs.sqlite"))
+
+    def test_relative_path_resolves_against_parse_time_cwd(
+            self, tmp_path, monkeypatch):
+        """Workers parsing the same relative URL from different CWDs
+        must NOT end up with different store files — the path is
+        pinned to the parser's CWD, so the coordinator resolves it
+        once and hands workers an absolute URL."""
+        monkeypatch.chdir(tmp_path)
+        scheme, path = parse_store_url("sqlite://runs.sqlite")
+        assert path == str(tmp_path / "runs.sqlite")
+        url = resolve_store_url("runs.sqlite")
+        assert url == f"sqlite://{tmp_path}/runs.sqlite"
+        elsewhere = tmp_path / "elsewhere"
+        elsewhere.mkdir()
+        monkeypatch.chdir(elsewhere)
+        # The absolute URL round-trips identically from any CWD.
+        assert parse_store_url(url) == (scheme, path)
+        assert resolve_store_url(url) == url
+
+    def test_memory_path_stays_symbolic(self):
+        assert parse_store_url(":memory:") == ("sqlite", ":memory:")
+        assert resolve_store_url("sqlite://:memory:") == "sqlite://:memory:"
 
     def test_duckdb_url_parses_without_package(self):
         # Parsing never imports the backend; only opening does.
         assert parse_store_url("duckdb://runs.duckdb") == (
-            "duckdb", "runs.duckdb")
+            "duckdb", os.path.abspath("runs.duckdb"))
 
     def test_unknown_scheme_is_an_error(self):
         with pytest.raises(ValueError, match="unknown run-store scheme"):
@@ -303,6 +332,173 @@ class TestBackendContract:
              "--n", "6", "--seeds", "0-1", "--f", "1", "--store", url],
             capture_output=True, env=env, text=True, check=True,
         ).stderr
+
+
+class TestQueueContract:
+    """The work-queue surface, against every available backend."""
+
+    def enqueue(self, store, campaign="c", count=2):
+        return store.backend.enqueue_tasks(campaign, [
+            (f"h{index}", index, {"driver": "crash", "n": 8, "f": 0,
+                                  "seed": index, "params": {}})
+            for index in range(count)
+        ])
+
+    def test_enqueue_is_idempotent(self, store):
+        assert self.enqueue(store) == 2
+        assert self.enqueue(store) == 0
+        assert self.enqueue(store, count=3) == 1  # only h2 is new
+        counts = store.backend.task_counts()
+        assert counts["c"][TASK_PENDING] == 3
+        assert counts["c"]["total"] == 3
+
+    def test_claim_orders_by_seq_and_stamps_lease(self, store):
+        self.enqueue(store)
+        task = store.backend.claim_task("w1", 100.0, 130.0)
+        assert task.task_hash == "h0"
+        assert task.state == TASK_LEASED
+        assert task.lease_owner == "w1"
+        assert task.lease_deadline == 130.0
+        assert task.attempts == 1
+        assert task.spec["seed"] == 0
+        persisted = store.backend.get_task("c", "h0")
+        assert persisted.state == TASK_LEASED
+        assert persisted.lease_owner == "w1"
+
+    def test_claim_skips_live_leases(self, store):
+        self.enqueue(store)
+        store.backend.claim_task("w1", 100.0, 130.0)
+        second = store.backend.claim_task("w2", 100.0, 130.0)
+        assert second.task_hash == "h1"
+        assert store.backend.claim_task("w3", 100.0, 130.0) is None
+
+    def test_claim_reclaims_expired_lease(self, store):
+        self.enqueue(store, count=1)
+        store.backend.claim_task("dead", 100.0, 130.0)
+        # Before the deadline the lease holds; after it, it's claimable
+        # and the new lease increments the attempt counter.
+        assert store.backend.claim_task("w2", 129.0, 160.0) is None
+        task = store.backend.claim_task("w2", 131.0, 160.0)
+        assert task.task_hash == "h0"
+        assert task.lease_owner == "w2"
+        assert task.attempts == 2
+
+    def test_campaign_filter(self, store):
+        self.enqueue(store, campaign="a", count=1)
+        self.enqueue(store, campaign="b", count=1)
+        task = store.backend.claim_task("w", 100.0, 130.0, campaign="b")
+        assert task.campaign == "b"
+        assert store.backend.claim_task("w", 100.0, 130.0,
+                                        campaign="nope") is None
+
+    def test_heartbeat_extends_only_the_live_owner(self, store):
+        self.enqueue(store, count=1)
+        store.backend.claim_task("w1", 100.0, 130.0)
+        assert store.backend.heartbeat_task("c", "h0", "w1", 200.0)
+        assert store.backend.get_task("c", "h0").lease_deadline == 200.0
+        assert not store.backend.heartbeat_task("c", "h0", "imposter", 999.0)
+        assert store.backend.get_task("c", "h0").lease_deadline == 200.0
+
+    def test_settlement_is_at_most_once(self, store):
+        self.enqueue(store, count=1)
+        store.backend.claim_task("w1", 100.0, 130.0)
+        assert store.backend.settle_task(
+            "c", "h0", "w1", "settled", "ok", 101.0) == SETTLE_OK
+        settled = store.backend.get_task("c", "h0")
+        assert settled.done and settled.result_status == "ok"
+        assert settled.lease_owner is None
+        assert settled.settled == 101.0
+        # Everyone after the winner gets a detected no-op.
+        assert store.backend.settle_task(
+            "c", "h0", "w1", "settled", "ok", 102.0) == SETTLE_ALREADY
+        assert store.backend.settle_task(
+            "c", "h0", "w2", "settled", "ok", 102.0) == SETTLE_ALREADY
+        assert store.backend.settle_task(
+            "c", "nope", "w1", "settled", "ok", 102.0) == SETTLE_MISSING
+
+    def test_settle_after_lease_lost_is_detected(self, store):
+        self.enqueue(store, count=1)
+        store.backend.claim_task("slow", 100.0, 130.0)
+        # The lease expires and another worker claims it; the original
+        # worker's settle must NOT override the new lease.
+        store.backend.claim_task("fast", 131.0, 160.0)
+        assert store.backend.settle_task(
+            "c", "h0", "slow", "settled", "ok", 132.0) == SETTLE_LOST
+        task = store.backend.get_task("c", "h0")
+        assert task.state == TASK_LEASED and task.lease_owner == "fast"
+
+    def test_settle_rejects_non_terminal_state(self, store):
+        self.enqueue(store, count=1)
+        store.backend.claim_task("w1", 100.0, 130.0)
+        with pytest.raises(ValueError, match="state must be"):
+            store.backend.settle_task("c", "h0", "w1", "pending", None, 1.0)
+
+    def test_reap_returns_expired_leases_to_pending(self, store):
+        self.enqueue(store)
+        store.backend.claim_task("dead", 100.0, 130.0)
+        store.backend.claim_task("live", 100.0, 500.0)
+        reaped = store.backend.reap_tasks(200.0)
+        assert [(t.task_hash, t.lease_owner) for t in reaped] == [
+            ("h0", "dead")]
+        assert store.backend.get_task("c", "h0").state == TASK_PENDING
+        assert store.backend.get_task("c", "h1").state == TASK_LEASED
+        assert store.backend.reap_tasks(200.0) == []
+
+    def test_force_reap_reclaims_live_leases_too(self, store):
+        self.enqueue(store, count=1)
+        store.backend.claim_task("live", 100.0, 500.0)
+        reaped = store.backend.reap_tasks(101.0, force=True)
+        assert [t.lease_owner for t in reaped] == ["live"]
+        assert store.backend.get_task("c", "h0").state == TASK_PENDING
+
+    def test_list_tasks_filters(self, store):
+        self.enqueue(store)
+        store.backend.claim_task("w1", 100.0, 130.0)
+        assert [t.task_hash for t in store.backend.list_tasks()] == [
+            "h0", "h1"]
+        assert [t.task_hash for t in store.backend.list_tasks(
+            state=TASK_PENDING)] == ["h1"]
+        assert store.backend.list_tasks(campaign="nope") == []
+        assert len(store.backend.list_tasks(limit=1)) == 1
+
+    def test_run_attempts_round_trip(self, store):
+        put_run(store, "h1", attempts=2)
+        put_run(store, "h2")
+        assert store.get("h1").attempts == 2
+        assert store.get("h2").attempts == 1
+
+    def test_concurrent_claimants_never_share_a_task(self, store):
+        """Racing threads each lease a disjoint set of tasks."""
+        total = 16
+        store.backend.enqueue_tasks("race", [
+            (f"r{index:02d}", index, {"seed": index})
+            for index in range(total)
+        ])
+        claimed: list[list[str]] = [[] for _ in range(4)]
+        errors: list[BaseException] = []
+
+        def claimant(slot: int) -> None:
+            try:
+                while True:
+                    task = store.backend.claim_task(
+                        f"w{slot}", time.time(), time.time() + 60.0,
+                        campaign="race")
+                    if task is None:
+                        return
+                    claimed[slot].append(task.task_hash)
+            except BaseException as exc:
+                errors.append(exc)
+
+        threads = [threading.Thread(target=claimant, args=(slot,))
+                   for slot in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors, errors
+        everything = [hash_ for per in claimed for hash_ in per]
+        assert sorted(everything) == [f"r{i:02d}" for i in range(total)]
+        assert len(set(everything)) == total  # no double-claims
 
 
 class TestClosedStore:
